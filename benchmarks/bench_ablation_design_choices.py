@@ -1,0 +1,80 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+Not a paper figure, but exercises two knobs the paper discusses qualitatively:
+
+* the cost-model weight ratio ``w0/w1`` (§5.3.1): a larger per-cell-range
+  charge pushes the optimizer towards coarser grids (fewer cells, more points
+  scanned per query), and vice versa;
+* the Grid Tree region budget (§4.3): more regions reduce per-region skew but
+  increase index size and planning overhead.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import FloodIndex
+from repro.bench.report import format_table
+from repro.core.cost_model import CostModel
+from repro.core.grid_tree import GridTreeConfig
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.datasets import load_dataset
+
+
+def test_ablation_cost_model_weights(benchmark, bench_rows, bench_queries):
+    """Sweeping w0 trades grid cells against scanned points, as §5.3.1 implies."""
+
+    def run():
+        table, workload = load_dataset(
+            "tpch", num_rows=bench_rows, queries_per_type=bench_queries
+        )
+        rows = []
+        for w0 in (5.0, 50.0, 500.0):
+            index = FloodIndex(cost_model=CostModel(w0=w0, w1=1.0))
+            index.build(table, workload)
+            _, stats = index.execute_workload(workload)
+            rows.append(
+                {
+                    "w0": w0,
+                    "grid cells": index.num_cells,
+                    "avg scanned": round(stats.points_scanned / len(workload), 1),
+                    "avg cell ranges": round(stats.cell_ranges / len(workload), 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    # A cheaper cell-range charge must never lead to fewer cells than the
+    # most expensive one (the optimizer would have no reason to coarsen).
+    assert rows[0]["grid cells"] >= rows[-1]["grid cells"]
+
+
+def test_ablation_grid_tree_region_budget(benchmark, bench_rows, bench_queries):
+    """More Grid Tree regions may reduce scan work but grow the index."""
+
+    def run():
+        table, workload = load_dataset(
+            "taxi", num_rows=bench_rows, queries_per_type=bench_queries
+        )
+        rows = []
+        for max_regions in (1, 8, 48):
+            config = TsunamiConfig(grid_tree=GridTreeConfig(max_regions=max_regions))
+            index = TsunamiIndex(config)
+            index.build(table, workload)
+            _, stats = index.execute_workload(workload)
+            info = index.describe()
+            rows.append(
+                {
+                    "max regions": max_regions,
+                    "regions": info["num_leaf_regions"],
+                    "avg scanned": round(stats.points_scanned / len(workload), 1),
+                    "index size (KiB)": round(index.index_size_bytes() / 1024, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    assert rows[0]["regions"] <= rows[-1]["regions"]

@@ -1,0 +1,30 @@
+"""Ablation for the §8 "Data and Workload Shift" extension (incremental reopt).
+
+After the TPC-H workload shift of Fig. 9a, compares three adaptation
+strategies: doing nothing, re-optimizing only the most-shifted Grid Tree
+regions (this repository's incremental extension), and the paper's full
+re-optimization.  Incremental adaptation should recover a large share of the
+scan-work reduction at a fraction of the full re-optimization time.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.extensions import experiment_incremental_reopt
+
+
+def test_ablation_incremental_reoptimization(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_incremental_reopt,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+    )
+    print()
+    print(result)
+    none = result.data["none"]["avg points scanned (shifted)"]
+    incremental = result.data["incremental"]["avg points scanned (shifted)"]
+    full_seconds = result.data["full"]["adaptation (s)"]
+    incremental_seconds = result.data["incremental"]["adaptation (s)"]
+    # Incremental adaptation must be cheaper than a full rebuild and must not
+    # make the shifted workload slower than doing nothing at all.
+    assert incremental_seconds < full_seconds
+    assert incremental <= none * 1.05

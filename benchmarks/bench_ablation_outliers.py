@@ -1,0 +1,27 @@
+"""Ablation for the §8 "Complex Correlations" extension (outlier buffers).
+
+On a tightly correlated column pair with a handful of extreme outliers, a
+plain functional mapping's error bounds blow up and every query over the
+mapped dimension degenerates towards a full scan.  Buffering the outliers
+restores the mapping's usefulness; this benchmark reports the scan work of
+both variants and of giving up on the mapping entirely.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.extensions import experiment_outlier_mappings
+
+
+def test_ablation_outlier_mappings(benchmark, bench_rows):
+    result = run_once(
+        benchmark,
+        experiment_outlier_mappings,
+        num_rows=bench_rows,
+        num_queries=60,
+    )
+    print()
+    print(result)
+    plain = result.data["functional mapping (plain)"]["scanned"]
+    buffered = result.data["functional mapping (outlier buffer)"]["scanned"]
+    # The outlier buffer must substantially reduce the scan work of the
+    # polluted mapping (the whole point of the §8 extension).
+    assert buffered < plain * 0.5

@@ -1,0 +1,32 @@
+"""Extended baseline comparison: Grid File and R-tree join the Fig. 7 suite.
+
+The paper excludes Grid Files, UB-trees, and R*-trees from its headline
+comparison because Flood already showed consistent superiority over them
+(§6.1).  This supplementary benchmark re-checks that claim on our substrate:
+the learned indexes (Flood, Tsunami) should beat both added baselines on scan
+work, and Tsunami should remain the overall winner.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.extensions import experiment_extended_baselines
+
+
+def test_extended_baselines(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_extended_baselines,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        datasets=("tpch", "taxi"),
+    )
+    print()
+    print(result)
+    for dataset, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers on {dataset}"
+        by_name = {m.index_name: m for m in measurements}
+        # The learned indexes should scan less than both added traditional baselines.
+        for baseline in ("grid-file", "r-tree"):
+            assert (
+                by_name["tsunami"].avg_points_scanned
+                <= by_name[baseline].avg_points_scanned * 1.05
+            ), f"tsunami should not scan more than {baseline} on {dataset}"

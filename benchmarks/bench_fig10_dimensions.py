@@ -1,0 +1,49 @@
+"""Fig. 10: scalability with the number of dimensions.
+
+Two panels: uncorrelated synthetic datasets, and datasets where half of the
+dimensions are linearly correlated (strongly or loosely) with the other half.
+The paper's claim is that Tsunami keeps outperforming the other indexes as
+dimensionality grows, and that the Augmented Grid uses correlations to delay
+the curse of dimensionality.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_dimensions
+
+
+def test_fig10_uncorrelated_dimensions(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_dimensions,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        dimension_counts=(4, 8, 12),
+        correlated=False,
+        include_nonlearned=True,
+    )
+    print()
+    print(result)
+    for dims, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers at d={dims}"
+
+
+def test_fig10_correlated_dimensions(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_dimensions,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        dimension_counts=(4, 8, 12),
+        correlated=True,
+        include_nonlearned=True,
+    )
+    print()
+    print(result)
+    for dims, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers at d={dims}"
+        by_name = {m.index_name: m for m in measurements}
+        # On correlated data Tsunami must not do more scan work than Flood.
+        assert (
+            by_name["tsunami"].avg_points_scanned
+            <= by_name["flood"].avg_points_scanned * 1.10
+        )

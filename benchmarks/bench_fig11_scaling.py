@@ -1,0 +1,45 @@
+"""Fig. 11: scalability with dataset size (11a) and query selectivity (11b).
+
+11a samples the TPC-H stand-in at increasing row counts and runs the same
+workload; 11b scales the synthetic correlated workload's filter ranges up and
+down to sweep average query selectivity, as in the paper's 0.001%-10% sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_dataset_size, experiment_selectivity
+
+
+def test_fig11a_dataset_size(benchmark, bench_rows, bench_queries):
+    row_counts = (bench_rows // 4, bench_rows // 2, bench_rows)
+    result = run_once(
+        benchmark,
+        experiment_dataset_size,
+        row_counts=row_counts,
+        queries_per_type=bench_queries,
+    )
+    print()
+    print(result)
+    for rows, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers at {rows} rows"
+    # Tsunami's advantage over Flood in scan work should hold at every size.
+    largest = result.data[row_counts[-1]]
+    by_name = {m.index_name: m for m in largest}
+    assert (
+        by_name["tsunami"].avg_points_scanned <= by_name["flood"].avg_points_scanned * 1.10
+    )
+
+
+def test_fig11b_query_selectivity(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_selectivity,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        selectivity_factors=(0.2, 1.0, 5.0),
+    )
+    print()
+    print(result)
+    averages = [info["avg_selectivity"] for info in result.data.values()]
+    assert averages == sorted(averages), "selectivity sweep must be monotone"
+    for factor, info in result.data.items():
+        assert all(m.correct for m in info["measurements"]), f"wrong answers at {factor}"

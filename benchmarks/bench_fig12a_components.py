@@ -1,0 +1,30 @@
+"""Fig. 12a: drill-down into Tsunami's two components.
+
+Compares Flood, the Augmented-Grid-only variant (no Grid Tree), the
+Grid-Tree-only variant (Flood-style grids per region), and full Tsunami.  The
+paper finds that the Grid Tree contributes most of the gain, with the
+Augmented Grid adding a further boost on correlated data.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_components
+
+
+def test_fig12a_component_drilldown(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_components,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        datasets=("tpch", "taxi"),
+    )
+    print()
+    print(result)
+    for dataset, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers on {dataset}"
+        by_name = {m.index_name: m for m in measurements}
+        # The full composition should not do more scan work than plain Flood.
+        assert (
+            by_name["tsunami"].avg_points_scanned
+            <= by_name["flood"].avg_points_scanned * 1.10
+        )

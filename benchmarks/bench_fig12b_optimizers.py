@@ -1,0 +1,34 @@
+"""Fig. 12b: comparison of optimization methods and cost-model accuracy.
+
+Runs Adaptive Gradient Descent (AGD), plain Gradient Descent (GD), the
+basin-hopping Black-Box baseline, and AGD with naive initialization (AGD-NI)
+over the whole data space, reporting each method's predicted cost, the actual
+measured query time of the resulting grid, and the cost model's relative error
+(the paper reports an average error of ~15%).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_optimizers
+
+
+def test_fig12b_optimization_methods(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_optimizers,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        datasets=("tpch", "taxi"),
+        blackbox_iterations=10,
+    )
+    print()
+    print(result)
+    for dataset, methods in result.data.items():
+        assert set(methods) == {"AGD", "GD", "Black Box", "AGD-NI"}
+        # AGD should find a configuration at least as good as plain GD
+        # (predicted cost is the optimization objective).
+        assert (
+            methods["AGD"]["result"].predicted_cost
+            <= methods["GD"]["result"].predicted_cost * 1.05
+        ), f"AGD worse than GD on {dataset}"
+        for name, info in methods.items():
+            assert info["actual_avg_seconds"] > 0

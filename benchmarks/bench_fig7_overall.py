@@ -1,0 +1,64 @@
+"""Fig. 7: query throughput of every index on every dataset.
+
+The paper's headline result: Tsunami is the fastest index on all four
+datasets, up to 6x faster than Flood and up to 11x faster than the best
+optimally-tuned non-learned index.  At this reproduction's scale the shape to
+check is the ordering (Tsunami >= Flood on work done) rather than the absolute
+factors; both wall-clock throughput and machine-independent scanned-point
+counts are reported.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_overall
+from repro.bench.harness import measure_index, expected_answers
+from repro.bench.harness import default_index_factories
+from repro.datasets import load_dataset
+
+
+def test_fig7_overall_throughput(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_overall,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        datasets=("tpch", "taxi", "perfmon", "stocks"),
+    )
+    print()
+    print(result)
+    wins = 0
+    for dataset, measurements in result.data.items():
+        assert all(m.correct for m in measurements), f"wrong answers on {dataset}"
+        by_name = {m.index_name: m for m in measurements}
+        # Paper shape: Tsunami is the fastest learned index.
+        assert (
+            by_name["tsunami"].queries_per_second >= by_name["flood"].queries_per_second
+        ), f"tsunami slower than flood on {dataset}"
+        if by_name["tsunami"].avg_points_scanned <= by_name["flood"].avg_points_scanned * 1.10:
+            wins += 1
+    # Tsunami should also do no more scan work than Flood on most datasets
+    # (at reduced scale one dataset may deviate; EXPERIMENTS.md discusses it).
+    assert wins >= len(result.data) - 1, "tsunami scans more than flood on most datasets"
+
+
+@pytest.mark.parametrize("dataset", ["tpch", "taxi", "perfmon", "stocks"])
+@pytest.mark.parametrize("index_name", ["tsunami", "flood", "kd-tree"])
+def test_fig7_per_query_latency(benchmark, dataset, index_name, bench_rows, bench_queries):
+    """Per-query latency of the headline indexes, measured by pytest-benchmark."""
+    table, workload = load_dataset(
+        dataset, num_rows=bench_rows, queries_per_type=bench_queries
+    )
+    factory = default_index_factories()[index_name]
+    index = factory()
+    index.build(table, workload)
+    queries = list(workload)
+
+    position = {"i": 0}
+
+    def run_one_query():
+        query = queries[position["i"] % len(queries)]
+        position["i"] += 1
+        return index.execute(query).value
+
+    benchmark(run_one_query)

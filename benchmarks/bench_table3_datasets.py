@@ -1,0 +1,22 @@
+"""Table 3: dataset and query characteristics.
+
+Regenerates the paper's dataset summary (records, query types, dimensions,
+in-memory size, selectivity band) for the four stand-in datasets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_table3
+
+
+def test_table3_dataset_characteristics(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark, experiment_table3, num_rows=bench_rows, queries_per_type=bench_queries
+    )
+    print()
+    print(result)
+    assert set(result.data) == {"tpch", "taxi", "perfmon", "stocks"}
+    for name, info in result.data.items():
+        stats = info["table"]
+        assert stats.num_query_types >= 5
+        # The paper's workloads sit in the sub-5% selectivity band on average.
+        assert stats.avg_selectivity < 0.05

@@ -1,0 +1,29 @@
+"""Table 4: index statistics after optimization.
+
+Regenerates the Grid Tree shape (nodes, depth, regions), per-region point
+spreads, the average number of functional mappings / conditional CDFs per
+region, and Tsunami's vs Flood's total grid cell counts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import experiment_table4
+
+
+def test_table4_index_statistics(benchmark, bench_rows, bench_queries):
+    result = run_once(
+        benchmark,
+        experiment_table4,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        datasets=("tpch", "taxi", "perfmon", "stocks"),
+    )
+    print()
+    print(result)
+    for name, info in result.data.items():
+        stats = info["tsunami"]
+        # The Grid Tree must stay lightweight (the paper reports depth <= 4
+        # and a few dozen regions).
+        assert stats["grid_tree_depth"] <= 6
+        assert 1 <= stats["num_leaf_regions"] <= 96
+        assert stats["min_points_per_region"] <= stats["max_points_per_region"]
+        assert info["flood_cells"] >= 1

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale.  Scale is controlled by two environment variables:
+
+* ``REPRO_BENCH_ROWS`` — rows per dataset (default 40 000 here),
+* ``REPRO_BENCH_QUERIES`` — queries per query type (default 25).
+
+Raise them to run closer to the paper's setting; the harness and experiment
+drivers are scale-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Keep the default benchmark scale laptop-friendly unless overridden.
+os.environ.setdefault("REPRO_BENCH_ROWS", "40000")
+os.environ.setdefault("REPRO_BENCH_QUERIES", "25")
+
+
+@pytest.fixture(scope="session")
+def bench_rows() -> int:
+    """Rows per dataset used by the benchmarks."""
+    return int(os.environ["REPRO_BENCH_ROWS"])
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> int:
+    """Queries per query type used by the benchmarks."""
+    return int(os.environ["REPRO_BENCH_QUERIES"])
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are heavyweight (they build several indexes), so a single
+    round is measured instead of pytest-benchmark's default auto-calibration.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""SQL interface: run the paper's query template (§2) as SQL text.
+
+Run with::
+
+    python examples/sql_interface.py
+
+The example loads the TPC-H stand-in dataset, builds a Tsunami index, and
+answers a handful of analytics questions written as SQL, comparing each answer
+(and the rows scanned) against a plain full scan of the column store.
+"""
+
+from __future__ import annotations
+
+from repro import TsunamiIndex, TsunamiConfig, execute_full_scan
+from repro.datasets import load_dataset
+from repro.query.sql import parse_query
+
+# The TPC-H stand-in stores dates as day numbers (0..2556, i.e. 7 years),
+# prices in cents, and discount/tax as whole percents; shipmode 0 is "AIR".
+STATEMENTS = [
+    # "How many shipments by air had below ten items?" (§6.2)
+    "SELECT COUNT(*) FROM lineitem WHERE shipmode = 0 AND quantity < 10",
+    # "How many high-priced orders in the past year used a significant discount?"
+    "SELECT COUNT(*) FROM lineitem WHERE extendedprice >= 3000000 "
+    "AND discount BETWEEN 5 AND 10 AND shipdate >= 2191",
+    # Revenue-style aggregate over a price band.
+    "SELECT SUM(quantity) FROM lineitem WHERE extendedprice BETWEEN 100000 AND 500000",
+    # Average quantity of heavily taxed items.
+    "SELECT AVG(quantity) FROM lineitem WHERE tax >= 6",
+]
+
+
+def main() -> None:
+    table, workload = load_dataset("tpch", num_rows=120_000, queries_per_type=50)
+    index = TsunamiIndex(TsunamiConfig(optimizer_iterations=2)).build(table, workload)
+    print(
+        f"built tsunami over {table.num_rows} TPC-H rows "
+        f"({index.index_size_bytes() / 1024:.1f} KiB index)"
+    )
+
+    for sql in STATEMENTS:
+        query = parse_query(sql, index.table)
+        result = index.execute(query)
+        expected, full_stats = execute_full_scan(index.table, query)
+        assert result.value == expected, "SQL answer must match the full scan"
+        print()
+        print(sql)
+        print(
+            f"  -> {result.value:,.2f}   "
+            f"(scanned {result.stats.points_scanned:,} rows vs "
+            f"{full_stats.points_scanned:,} for a full scan)"
+        )
+
+
+if __name__ == "__main__":
+    main()

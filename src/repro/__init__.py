@@ -1,0 +1,88 @@
+"""Reproduction of "Tsunami: A Learned Multi-dimensional Index for Correlated
+Data and Skewed Workloads" (Ding, Nathan, Alizadeh, Kraska — VLDB 2020).
+
+The public API re-exported here is what the examples and benchmarks use:
+
+* Storage: :class:`~repro.storage.table.Table` — the in-memory clustered column store.
+* Queries: :class:`~repro.query.query.Query`, :class:`~repro.query.workload.Workload`.
+* The paper's contribution: :class:`~repro.core.tsunami.TsunamiIndex`.
+* Baselines: Flood and the non-learned indexes from §6.1.
+* Dataset and workload generators standing in for the paper's evaluation data.
+"""
+
+from repro.storage import (
+    Table,
+    Column,
+    save_table,
+    load_table,
+    save_index,
+    load_index,
+    read_csv,
+    write_csv,
+)
+from repro.query import Query, Workload, execute_full_scan, parse_query, execute_sql
+from repro.core import (
+    TsunamiIndex,
+    TsunamiConfig,
+    AugmentedGrid,
+    AugmentedGridConfig,
+    GridTree,
+    GridTreeConfig,
+    Skeleton,
+    CostModel,
+    WorkloadDriftDetector,
+    OutlierBoundedMapping,
+    CategoricalReordering,
+    DeltaBufferedIndex,
+    IncrementalReoptimizer,
+)
+from repro.baselines import (
+    FullScanIndex,
+    SingleDimensionIndex,
+    ZOrderIndex,
+    KdTreeIndex,
+    HyperOctreeIndex,
+    GridFileIndex,
+    RTreeIndex,
+    FloodIndex,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "Table",
+    "Column",
+    "save_table",
+    "load_table",
+    "save_index",
+    "load_index",
+    "read_csv",
+    "write_csv",
+    "Query",
+    "Workload",
+    "execute_full_scan",
+    "parse_query",
+    "execute_sql",
+    "TsunamiIndex",
+    "TsunamiConfig",
+    "AugmentedGrid",
+    "AugmentedGridConfig",
+    "GridTree",
+    "GridTreeConfig",
+    "Skeleton",
+    "CostModel",
+    "WorkloadDriftDetector",
+    "OutlierBoundedMapping",
+    "CategoricalReordering",
+    "DeltaBufferedIndex",
+    "IncrementalReoptimizer",
+    "FullScanIndex",
+    "SingleDimensionIndex",
+    "ZOrderIndex",
+    "KdTreeIndex",
+    "HyperOctreeIndex",
+    "GridFileIndex",
+    "RTreeIndex",
+    "FloodIndex",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline indexes the paper evaluates Tsunami against (§6.1).
+
+All baselines share the clustered-index contract defined by
+:class:`~repro.baselines.base.ClusteredIndex`: ``build`` reorganizes the
+table's physical row order, ``execute`` answers a query by scanning contiguous
+row ranges through the shared :class:`~repro.storage.scan.ScanExecutor`.
+
+The learned baseline (Flood) lives here too but reuses the grid machinery from
+:mod:`repro.core`, matching the paper's note that Flood is evaluated with
+Tsunami's cost model and binary-search refinement.
+"""
+
+from repro.baselines.base import ClusteredIndex, QueryResult
+from repro.baselines.full_scan import FullScanIndex
+from repro.baselines.single_dim import SingleDimensionIndex
+from repro.baselines.zorder import ZOrderIndex
+from repro.baselines.kdtree import KdTreeIndex
+from repro.baselines.octree import HyperOctreeIndex
+from repro.baselines.gridfile import GridFileIndex
+from repro.baselines.rtree import RTreeIndex
+from repro.baselines.flood import FloodIndex
+
+__all__ = [
+    "ClusteredIndex",
+    "QueryResult",
+    "FullScanIndex",
+    "SingleDimensionIndex",
+    "ZOrderIndex",
+    "KdTreeIndex",
+    "HyperOctreeIndex",
+    "GridFileIndex",
+    "RTreeIndex",
+    "FloodIndex",
+]

@@ -1,0 +1,195 @@
+"""The clustered-index contract shared by every index in the reproduction.
+
+The paper's indexes are all *clustered*: the index owns the physical row order
+of the underlying column store, answers a query by identifying contiguous row
+ranges to scan, and delegates the scan to the column store.  This module
+defines that contract (:class:`ClusteredIndex`) and the per-query result
+object (:class:`QueryResult`), so the benchmark harness can treat Tsunami,
+Flood, and the non-learned baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import IndexBuildError
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.scan import RowRange, ScanExecutor, ScanStats, coalesce_ranges
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of executing one query through an index."""
+
+    value: float
+    stats: ScanStats
+
+
+@dataclass
+class BuildReport:
+    """Timing and bookkeeping recorded while building an index.
+
+    ``sort_seconds`` is the time spent physically reorganizing the table
+    (every index pays this); ``optimize_seconds`` is the extra layout
+    optimization time paid only by the learned indexes (Fig. 9b separates the
+    two).
+    """
+
+    sort_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total build time."""
+        return self.sort_seconds + self.optimize_seconds
+
+
+class ClusteredIndex(ABC):
+    """Abstract base class for clustered multi-dimensional indexes."""
+
+    #: Human-readable name used in benchmark reports.
+    name: str = "index"
+
+    def __init__(self) -> None:
+        self._table: Table | None = None
+        self._executor: ScanExecutor | None = None
+        self.build_report = BuildReport()
+
+    # -- template method -------------------------------------------------------
+
+    def build(self, table: Table, workload: Workload | None = None) -> "ClusteredIndex":
+        """Build the index over ``table``, optionally optimizing for ``workload``.
+
+        The table is physically reorganized (clustered) according to the
+        layout the index chooses.  Returns ``self`` for chaining.
+        """
+        if table.num_rows == 0:
+            raise IndexBuildError(f"cannot build {self.name} over an empty table")
+        self._table = table
+        optimize_start = time.perf_counter()
+        self._optimize(table, workload)
+        optimize_end = time.perf_counter()
+        permutation = self._layout_permutation(table)
+        sort_start = time.perf_counter()
+        if permutation is not None:
+            table.reorder(np.asarray(permutation))
+        self._finalize(table)
+        sort_end = time.perf_counter()
+        self.build_report.optimize_seconds = optimize_end - optimize_start
+        self.build_report.sort_seconds = sort_end - sort_start
+        self._executor = ScanExecutor(table)
+        return self
+
+    # -- hooks for subclasses -----------------------------------------------------
+
+    def _optimize(self, table: Table, workload: Workload | None) -> None:
+        """Choose layout parameters (learned indexes override this)."""
+
+    @abstractmethod
+    def _layout_permutation(self, table: Table) -> np.ndarray | None:
+        """Return the permutation that clusters the table, or ``None`` to keep order."""
+
+    def _finalize(self, table: Table) -> None:
+        """Build lookup structures that depend on the final physical order."""
+
+    @abstractmethod
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        """Return the physical row ranges that must be scanned for ``query``."""
+
+    # -- public API ------------------------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """The clustered table this index was built over."""
+        if self._table is None:
+            raise IndexBuildError(f"{self.name} has not been built yet")
+        return self._table
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._table is not None and self._executor is not None
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer ``query`` and return its aggregate value plus work counters."""
+        if self._executor is None:
+            raise IndexBuildError(f"{self.name} has not been built yet")
+        ranges = self._ranges_for_query(query)
+        value, stats = self._executor.execute(
+            ranges,
+            query.filters(),
+            aggregate=query.aggregate,
+            aggregate_column=query.aggregate_column,
+        )
+        return QueryResult(value=value, stats=stats)
+
+    def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
+        """Execute every query in ``workload`` and return results plus total work."""
+        results = []
+        total = ScanStats()
+        for query in workload:
+            result = self.execute(query)
+            results.append(result)
+            total.merge(result.stats)
+        return results, total
+
+    def explain(self, query: Query) -> dict:
+        """Describe how this index would answer ``query`` without executing it.
+
+        Returns the query's physical plan as counters: how many contiguous
+        cell ranges would be visited, how many rows they contain, how many of
+        those rows sit in *exact* ranges (scanned without per-value filter
+        checks, §6.1), and the fraction of the table touched.  Useful for
+        debugging layouts and for the examples' EXPLAIN-style output.
+        """
+        if self._executor is None:
+            raise IndexBuildError(f"{self.name} has not been built yet")
+        ranges = coalesce_ranges(self._ranges_for_query(query))
+        rows_to_scan = sum(len(row_range) for row_range in ranges)
+        exact_rows = sum(len(row_range) for row_range in ranges if row_range.exact)
+        total_rows = max(self.table.num_rows, 1)
+        return {
+            "index": self.name,
+            "filtered_dimensions": list(query.filtered_dimensions),
+            "aggregate": query.aggregate,
+            "cell_ranges": len(ranges),
+            "rows_to_scan": rows_to_scan,
+            "exact_rows": exact_rows,
+            "table_fraction_scanned": rows_to_scan / total_rows,
+        }
+
+    @abstractmethod
+    def index_size_bytes(self) -> int:
+        """Approximate memory footprint of the index structure (excluding data)."""
+
+    def describe(self) -> dict:
+        """Structural statistics for reports; subclasses extend this."""
+        return {"name": self.name, "size_bytes": self.index_size_bytes()}
+
+
+def containment_exactness(
+    cell_bounds: dict[str, tuple[int, int]], query: Query
+) -> bool:
+    """Whether a cell's bounding box is fully contained in the query rectangle.
+
+    When true, every row in the cell matches the query filter and the scan can
+    use the exact-range optimization (§6.1).  Dimensions the query does not
+    filter are unconstrained and therefore always contained.
+    """
+    for predicate in query.predicates:
+        bounds = cell_bounds.get(predicate.dimension)
+        if bounds is None:
+            # The cell places no constraint on this dimension, so rows inside
+            # it may or may not match the predicate; containment fails.
+            return False
+        low, high = bounds
+        if low < predicate.low or high > predicate.high:
+            return False
+    return True

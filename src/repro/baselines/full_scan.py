@@ -1,0 +1,29 @@
+"""The trivial no-index baseline: scan every row for every query.
+
+Not part of the paper's headline comparison, but useful as a correctness
+oracle and as the lower bound every real index must beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex
+from repro.query.query import Query
+from repro.storage.scan import RowRange
+from repro.storage.table import Table
+
+
+class FullScanIndex(ClusteredIndex):
+    """Answers every query by scanning the whole table."""
+
+    name = "full-scan"
+
+    def _layout_permutation(self, table: Table) -> np.ndarray | None:
+        return None
+
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        return [RowRange(0, self.table.num_rows, exact=False)]
+
+    def index_size_bytes(self) -> int:
+        return 0

@@ -1,0 +1,182 @@
+"""Clustered k-d tree baseline (§6.1 baseline 4).
+
+The k-d tree recursively partitions space at the median value of one
+dimension, cycling through dimensions in round-robin order of workload
+selectivity (most selective first), until the number of points in a leaf
+falls below the page size.  Points within each leaf are stored contiguously;
+queries traverse the tree to find intersecting leaves and scan them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex, containment_exactness
+from repro.query.query import Query
+from repro.query.selectivity import average_dimension_selectivity
+from repro.query.workload import Workload
+from repro.storage.scan import RowRange
+from repro.storage.table import Table
+
+
+@dataclass
+class _KdNode:
+    """One node of the k-d tree.
+
+    Internal nodes store the split dimension and value; leaves store the
+    physical row range (assigned after clustering) and their region bounds.
+    """
+
+    bounds: dict[str, tuple[float, float]]
+    split_dimension: str | None = None
+    split_value: float | None = None
+    left: "_KdNode | None" = None
+    right: "_KdNode | None" = None
+    row_start: int = -1
+    row_stop: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_dimension is None
+
+
+class KdTreeIndex(ClusteredIndex):
+    """Median-split k-d tree with workload-ordered round-robin split dimensions."""
+
+    name = "kd-tree"
+
+    def __init__(self, page_size: int = 4096, dimensions: list[str] | None = None) -> None:
+        super().__init__()
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.page_size = page_size
+        self._requested_dimensions = dimensions
+        self.dimensions: list[str] = []
+        self._root: _KdNode | None = None
+        self._leaves: list[_KdNode] = []
+        self._num_nodes = 0
+
+    # -- build -------------------------------------------------------------------
+
+    def _optimize(self, table: Table, workload: Workload | None) -> None:
+        if self._requested_dimensions is not None:
+            self.dimensions = list(self._requested_dimensions)
+            return
+        candidates = list(table.column_names)
+        if workload is None or len(workload) == 0:
+            self.dimensions = candidates
+            return
+        sample = table
+        if table.num_rows > 20_000:
+            sample = table.sample_rows(20_000, np.random.default_rng(11))
+        filtered = list(workload.filtered_dimensions())
+        unfiltered = [d for d in candidates if d not in filtered]
+        # Most selective (lowest average selectivity) dimensions are split first.
+        filtered.sort(
+            key=lambda dim: average_dimension_selectivity(sample, workload.queries, dim)
+        )
+        self.dimensions = filtered + unfiltered
+
+    def _build_node(
+        self,
+        table: Table,
+        row_ids: np.ndarray,
+        depth: int,
+        bounds: dict[str, tuple[float, float]],
+        leaf_order: list[np.ndarray],
+    ) -> _KdNode:
+        self._num_nodes += 1
+        if len(row_ids) <= self.page_size:
+            node = _KdNode(bounds=bounds)
+            node.row_start = sum(len(chunk) for chunk in leaf_order)
+            node.row_stop = node.row_start + len(row_ids)
+            leaf_order.append(row_ids)
+            self._leaves.append(node)
+            return node
+
+        dimension = self.dimensions[depth % len(self.dimensions)]
+        values = table.values(dimension)[row_ids]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Degenerate split (all values equal): make this a leaf to guarantee progress.
+        if left_mask.all() or not left_mask.any():
+            node = _KdNode(bounds=bounds)
+            node.row_start = sum(len(chunk) for chunk in leaf_order)
+            node.row_stop = node.row_start + len(row_ids)
+            leaf_order.append(row_ids)
+            self._leaves.append(node)
+            return node
+
+        left_bounds = dict(bounds)
+        right_bounds = dict(bounds)
+        low, high = bounds[dimension]
+        left_bounds[dimension] = (low, median)
+        right_bounds[dimension] = (median, high)
+        node = _KdNode(bounds=bounds, split_dimension=dimension, split_value=median)
+        node.left = self._build_node(
+            table, row_ids[left_mask], depth + 1, left_bounds, leaf_order
+        )
+        node.right = self._build_node(
+            table, row_ids[~left_mask], depth + 1, right_bounds, leaf_order
+        )
+        return node
+
+    def _layout_permutation(self, table: Table) -> np.ndarray | None:
+        self._leaves = []
+        self._num_nodes = 0
+        bounds = {
+            dim: (float(low), float(high))
+            for dim, (low, high) in ((d, table.bounds(d)) for d in table.column_names)
+        }
+        leaf_order: list[np.ndarray] = []
+        all_rows = np.arange(table.num_rows)
+        self._root = self._build_node(table, all_rows, 0, bounds, leaf_order)
+        return np.concatenate(leaf_order) if leaf_order else None
+
+    # -- query -------------------------------------------------------------------
+
+    def _collect(self, node: _KdNode, query: Query, out: list[RowRange]) -> None:
+        if node.is_leaf:
+            int_bounds = {
+                dim: (int(np.floor(low)), int(np.ceil(high)))
+                for dim, (low, high) in node.bounds.items()
+            }
+            exact = containment_exactness(int_bounds, query)
+            out.append(RowRange(node.row_start, node.row_stop, exact=exact))
+            return
+        predicate = query.predicate_for(node.split_dimension)
+        if predicate is None:
+            self._collect(node.left, query, out)
+            self._collect(node.right, query, out)
+            return
+        if predicate.low <= node.split_value:
+            self._collect(node.left, query, out)
+        if predicate.high > node.split_value:
+            self._collect(node.right, query, out)
+
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        assert self._root is not None
+        ranges: list[RowRange] = []
+        self._collect(self._root, query, ranges)
+        return ranges
+
+    # -- reporting -----------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        num_internal = self._num_nodes - len(self._leaves)
+        internal_bytes = num_internal * 32  # split dim, value, two child pointers
+        leaf_bytes = len(self._leaves) * (16 + 16 * len(self.dimensions))
+        return internal_bytes + leaf_bytes
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "page_size": self.page_size,
+                "num_nodes": self._num_nodes,
+                "num_leaves": len(self._leaves),
+            }
+        )
+        return info

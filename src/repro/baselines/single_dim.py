@@ -1,0 +1,86 @@
+"""Clustered single-dimensional index (§6.1 baseline 1).
+
+Points are sorted by the most selective dimension in the query workload.  A
+query that filters this dimension locates the matching contiguous run of rows
+with binary search; any other query falls back to a full scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex
+from repro.common.errors import IndexBuildError
+from repro.query.query import Query
+from repro.query.selectivity import average_dimension_selectivity
+from repro.query.workload import Workload
+from repro.storage.scan import RowRange
+from repro.storage.table import Table
+
+
+class SingleDimensionIndex(ClusteredIndex):
+    """Sorts the table by one dimension and binary-searches range filters on it."""
+
+    name = "single-dim"
+
+    def __init__(self, sort_dimension: str | None = None) -> None:
+        super().__init__()
+        self._requested_dimension = sort_dimension
+        self.sort_dimension: str | None = sort_dimension
+        self._sorted_values: np.ndarray | None = None
+
+    def _optimize(self, table: Table, workload: Workload | None) -> None:
+        if self._requested_dimension is not None:
+            if self._requested_dimension not in table:
+                raise IndexBuildError(
+                    f"sort dimension {self._requested_dimension!r} is not a column of "
+                    f"table {table.name!r}"
+                )
+            self.sort_dimension = self._requested_dimension
+            return
+        if workload is None or len(workload) == 0:
+            self.sort_dimension = table.column_names[0]
+            return
+        # Pick the dimension with the lowest (most selective) average filter
+        # selectivity among the dimensions the workload actually filters.
+        sample = table
+        if table.num_rows > 20_000:
+            sample = table.sample_rows(20_000, np.random.default_rng(5))
+        candidates = workload.filtered_dimensions() or tuple(table.column_names)
+        selectivities = {
+            dim: average_dimension_selectivity(sample, workload.queries, dim)
+            for dim in candidates
+        }
+        self.sort_dimension = min(selectivities, key=selectivities.get)
+
+    def _layout_permutation(self, table: Table) -> np.ndarray | None:
+        assert self.sort_dimension is not None
+        return np.argsort(table.values(self.sort_dimension), kind="stable")
+
+    def _finalize(self, table: Table) -> None:
+        assert self.sort_dimension is not None
+        self._sorted_values = np.array(table.values(self.sort_dimension))
+
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        assert self.sort_dimension is not None and self._sorted_values is not None
+        predicate = query.predicate_for(self.sort_dimension)
+        if predicate is None:
+            return [RowRange(0, self.table.num_rows, exact=False)]
+        start = int(np.searchsorted(self._sorted_values, predicate.low, side="left"))
+        stop = int(np.searchsorted(self._sorted_values, predicate.high, side="right"))
+        if start >= stop:
+            return []
+        # If the query only filters the sort dimension, every row in the run
+        # matches and the scan can skip per-value checks.
+        exact = query.num_filtered_dimensions == 1
+        return [RowRange(start, stop, exact=exact)]
+
+    def index_size_bytes(self) -> int:
+        # The sorted column itself is data, not index; the index structure is
+        # just the choice of sort dimension.
+        return 8
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["sort_dimension"] = self.sort_dimension
+        return info

@@ -1,0 +1,184 @@
+"""Z-order (Morton order) index with paged min/max metadata (§6.1 baseline 2).
+
+Points are ordered by their Z-value — the bit-interleaving of fixed-width
+per-dimension keys — and contiguous chunks are grouped into pages.  Each page
+keeps min/max metadata per dimension.  A query computes the smallest and
+largest Z-value contained in its rectangle and iterates over the pages whose
+Z-range intersects that interval, using the min/max metadata to skip pages
+that cannot contain matching points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex, containment_exactness
+from repro.common.errors import IndexBuildError
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.scan import RowRange
+from repro.storage.table import Table
+
+_MAX_TOTAL_BITS = 63
+
+
+class ZOrderIndex(ClusteredIndex):
+    """Clusters the table in Morton order and prunes pages by Z-range and min/max."""
+
+    name = "z-order"
+
+    def __init__(self, page_size: int = 1024, dimensions: list[str] | None = None) -> None:
+        super().__init__()
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.page_size = page_size
+        self._requested_dimensions = dimensions
+        self.dimensions: list[str] = []
+        self.bits_per_dimension = 0
+        self._domain_low: np.ndarray | None = None
+        self._domain_width: np.ndarray | None = None
+        self._zvalues: np.ndarray | None = None
+        self._page_bounds: list[dict[str, tuple[int, int]]] = []
+        self._page_z_ranges: np.ndarray | None = None
+        self._page_rows: list[tuple[int, int]] = []
+
+    # -- build -------------------------------------------------------------------
+
+    def _optimize(self, table: Table, workload: Workload | None) -> None:
+        if self._requested_dimensions is not None:
+            missing = [d for d in self._requested_dimensions if d not in table]
+            if missing:
+                raise IndexBuildError(f"unknown Z-order dimensions: {missing}")
+            self.dimensions = list(self._requested_dimensions)
+        elif workload is not None and len(workload) > 0:
+            self.dimensions = list(workload.filtered_dimensions())
+        else:
+            self.dimensions = list(table.column_names)
+        if not self.dimensions:
+            self.dimensions = list(table.column_names)
+        d = len(self.dimensions)
+        self.bits_per_dimension = max(1, min(16, _MAX_TOTAL_BITS // d))
+
+    def _normalized_keys(self, table: Table) -> np.ndarray:
+        """Map each row to per-dimension integer keys of ``bits_per_dimension`` bits."""
+        assert self._domain_low is not None and self._domain_width is not None
+        key_max = (1 << self.bits_per_dimension) - 1
+        keys = np.empty((table.num_rows, len(self.dimensions)), dtype=np.uint64)
+        for i, dim in enumerate(self.dimensions):
+            values = table.values(dim).astype(np.float64)
+            normalized = (values - self._domain_low[i]) / self._domain_width[i]
+            keys[:, i] = np.clip(normalized * key_max, 0, key_max).astype(np.uint64)
+        return keys
+
+    def _interleave(self, keys: np.ndarray) -> np.ndarray:
+        """Bit-interleave per-dimension keys into Morton codes (vectorized)."""
+        d = keys.shape[1]
+        z = np.zeros(keys.shape[0], dtype=np.uint64)
+        for bit in range(self.bits_per_dimension):
+            for dim in range(d):
+                bit_values = (keys[:, dim] >> np.uint64(bit)) & np.uint64(1)
+                z |= bit_values << np.uint64(bit * d + dim)
+        return z
+
+    def _point_z(self, point: np.ndarray) -> int:
+        """Morton code of a single per-dimension key vector."""
+        z = 0
+        d = len(self.dimensions)
+        for bit in range(self.bits_per_dimension):
+            for dim in range(d):
+                z |= ((int(point[dim]) >> bit) & 1) << (bit * d + dim)
+        return z
+
+    def _layout_permutation(self, table: Table) -> np.ndarray | None:
+        lows, widths = [], []
+        for dim in self.dimensions:
+            low, high = table.bounds(dim)
+            lows.append(float(low))
+            widths.append(float(max(high - low, 1)))
+        self._domain_low = np.array(lows)
+        self._domain_width = np.array(widths)
+        keys = self._normalized_keys(table)
+        zvalues = self._interleave(keys)
+        permutation = np.argsort(zvalues, kind="stable")
+        self._zvalues = zvalues[permutation]
+        return permutation
+
+    def _finalize(self, table: Table) -> None:
+        assert self._zvalues is not None
+        num_rows = table.num_rows
+        self._page_rows = []
+        self._page_bounds = []
+        z_ranges = []
+        for start in range(0, num_rows, self.page_size):
+            stop = min(start + self.page_size, num_rows)
+            self._page_rows.append((start, stop))
+            bounds = {}
+            for dim in self.dimensions:
+                chunk = table.column(dim).slice(start, stop)
+                bounds[dim] = (int(chunk.min()), int(chunk.max()))
+            self._page_bounds.append(bounds)
+            z_ranges.append((int(self._zvalues[start]), int(self._zvalues[stop - 1])))
+        self._page_z_ranges = np.array(z_ranges, dtype=np.uint64).reshape(-1, 2)
+
+    # -- query --------------------------------------------------------------------
+
+    def _query_key(self, query: Query, use_low: bool) -> np.ndarray:
+        """Per-dimension key vector of the query rectangle's low or high corner."""
+        assert self._domain_low is not None and self._domain_width is not None
+        key_max = (1 << self.bits_per_dimension) - 1
+        corner = np.empty(len(self.dimensions), dtype=np.uint64)
+        for i, dim in enumerate(self.dimensions):
+            predicate = query.predicate_for(dim)
+            if predicate is None:
+                corner[i] = 0 if use_low else key_max
+                continue
+            value = predicate.low if use_low else predicate.high
+            normalized = (value - self._domain_low[i]) / self._domain_width[i]
+            corner[i] = int(np.clip(normalized * key_max, 0, key_max))
+        return corner
+
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        assert self._page_z_ranges is not None
+        if not self._page_rows:
+            return []
+        z_low = self._point_z(self._query_key(query, use_low=True))
+        z_high = self._point_z(self._query_key(query, use_low=False))
+        ranges: list[RowRange] = []
+        filters = query.filters()
+        for page_id, (start, stop) in enumerate(self._page_rows):
+            page_z_low = int(self._page_z_ranges[page_id, 0])
+            page_z_high = int(self._page_z_ranges[page_id, 1])
+            if page_z_high < z_low or page_z_low > z_high:
+                continue
+            bounds = self._page_bounds[page_id]
+            intersects = True
+            for dim, (f_low, f_high) in filters.items():
+                if dim not in bounds:
+                    continue
+                b_low, b_high = bounds[dim]
+                if b_high < f_low or b_low > f_high:
+                    intersects = False
+                    break
+            if not intersects:
+                continue
+            exact = containment_exactness(bounds, query)
+            ranges.append(RowRange(start, stop, exact=exact))
+        return ranges
+
+    # -- reporting -----------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        per_page = 16 + 16 * len(self.dimensions)  # z-range + per-dim min/max
+        return len(self._page_rows) * per_page
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            {
+                "page_size": self.page_size,
+                "num_pages": len(self._page_rows),
+                "bits_per_dimension": self.bits_per_dimension,
+                "dimensions": list(self.dimensions),
+            }
+        )
+        return info

@@ -1,0 +1,30 @@
+"""Benchmark harness: build indexes, measure them, and regenerate the paper's
+tables and figures.
+
+* :mod:`repro.bench.harness` — build/measure machinery shared by every experiment.
+* :mod:`repro.bench.report` — plain-text table and series formatting.
+* :mod:`repro.bench.experiments` — one driver per paper table/figure; the
+  ``benchmarks/`` directory calls straight into these.
+"""
+
+from repro.bench.harness import (
+    IndexMeasurement,
+    measure_index,
+    run_comparison,
+    default_index_factories,
+    learned_index_factories,
+    tune_page_size,
+)
+from repro.bench.report import format_table, format_series, relative_factors
+
+__all__ = [
+    "IndexMeasurement",
+    "measure_index",
+    "run_comparison",
+    "default_index_factories",
+    "learned_index_factories",
+    "tune_page_size",
+    "format_table",
+    "format_series",
+    "relative_factors",
+]

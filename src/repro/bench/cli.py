@@ -1,0 +1,123 @@
+"""Command-line entry point for regenerating individual paper experiments.
+
+Usage::
+
+    python -m repro.bench.cli --list
+    python -m repro.bench.cli table3 table4
+    python -m repro.bench.cli fig7 --rows 100000 --queries 50
+    python -m repro.bench.cli all --rows 40000
+
+Each experiment prints the same plain-text table the corresponding benchmark
+in ``benchmarks/`` asserts on, so the CLI is the quickest way to regenerate a
+single figure without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.bench import experiments as exp
+from repro.bench import extensions as ext
+
+#: Experiment name -> (driver, description).
+EXPERIMENTS: dict[str, tuple[Callable[..., exp.ExperimentResult], str]] = {
+    "table3": (exp.experiment_table3, "Table 3: dataset and query characteristics"),
+    "table4": (exp.experiment_table4, "Table 4: index statistics after optimization"),
+    "fig7": (exp.experiment_overall, "Fig. 7/8: overall throughput and index size"),
+    "fig9a": (exp.experiment_adaptability, "Fig. 9a: adaptability to workload shift"),
+    "fig9b": (exp.experiment_creation_time, "Fig. 9b: index creation time"),
+    "fig10": (exp.experiment_dimensions, "Fig. 10: scaling with dimensionality"),
+    "fig11a": (exp.experiment_dataset_size, "Fig. 11a: scaling with dataset size"),
+    "fig11b": (exp.experiment_selectivity, "Fig. 11b: scaling with query selectivity"),
+    "fig12a": (exp.experiment_components, "Fig. 12a: component drill-down"),
+    "fig12b": (exp.experiment_optimizers, "Fig. 12b: optimization method comparison"),
+    "ext-baselines": (
+        ext.experiment_extended_baselines,
+        "Supplementary: Grid File and R-tree join the Fig. 7 suite",
+    ),
+    "ext-outliers": (
+        ext.experiment_outlier_mappings,
+        "Supplementary (§8): plain vs outlier-buffered functional mappings",
+    ),
+    "ext-incremental": (
+        ext.experiment_incremental_reopt,
+        "Supplementary (§8): incremental vs full re-optimization",
+    ),
+}
+
+#: Experiments that accept the standard (num_rows, queries_per_type) knobs.
+_ROWS_KWARG = {
+    "table3": "num_rows",
+    "table4": "num_rows",
+    "fig7": "num_rows",
+    "fig9a": "num_rows",
+    "fig9b": "num_rows",
+    "fig10": "num_rows",
+    "fig11b": "num_rows",
+    "fig12a": "num_rows",
+    "fig12b": "num_rows",
+    "ext-baselines": "num_rows",
+    "ext-outliers": "num_rows",
+    "ext-incremental": "num_rows",
+}
+
+#: Experiments whose drivers do not take the ``queries_per_type`` knob.
+_NO_QUERIES_KWARG = {"ext-outliers"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate tables and figures from the Tsunami paper's evaluation.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--rows", type=int, default=None, help="rows per dataset")
+    parser.add_argument(
+        "--queries", type=int, default=None, help="queries per query type"
+    )
+    return parser
+
+
+def run_experiment(name: str, rows: int | None, queries: int | None) -> exp.ExperimentResult:
+    """Run a single experiment by name with the requested scale."""
+    try:
+        driver, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    kwargs = {}
+    if rows is not None and name in _ROWS_KWARG:
+        kwargs[_ROWS_KWARG[name]] = rows
+    if queries is not None and name not in _NO_QUERIES_KWARG:
+        kwargs["queries_per_type"] = queries
+    return driver(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    for name in names:
+        result = run_experiment(name, args.rows, args.queries)
+        print(result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,516 @@
+"""One driver per paper table/figure (§6).
+
+Every function here regenerates the rows or series of one evaluation artifact
+at a configurable (much smaller) scale.  The ``benchmarks/`` directory wraps
+these drivers with pytest-benchmark; the examples call them directly.
+
+Scale knobs default to laptop-friendly values and can be overridden with the
+environment variables ``REPRO_BENCH_ROWS`` and ``REPRO_BENCH_QUERIES`` (rows
+per dataset and queries per query type respectively).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import FloodIndex, HyperOctreeIndex, KdTreeIndex, SingleDimensionIndex, ZOrderIndex
+from repro.bench.harness import (
+    IndexMeasurement,
+    default_index_factories,
+    expected_answers,
+    learned_index_factories,
+    measure_index,
+    run_comparison,
+)
+from repro.bench.report import format_series, format_table, relative_factors
+from repro.core.augmented_grid import AugmentedGrid
+from repro.core.cost_model import CostModel
+from repro.core.optimizer import (
+    AdaptiveGradientDescent,
+    BlackBoxOptimizer,
+    GradientDescentOnly,
+)
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.core.variants import AugmentedGridOnlyIndex, GridTreeOnlyIndex
+from repro.datasets import (
+    DATASETS,
+    load_dataset,
+    make_correlated_dataset,
+    make_uniform_dataset,
+    synthetic_scaling_workload,
+    synthetic_templates,
+)
+from repro.datasets.tpch import make_tpch_dataset, tpch_shifted_templates, tpch_templates
+from repro.datasets.workload_gen import generate_workload, scale_template_selectivities
+from repro.query.workload import Workload
+from repro.storage.scan import ScanExecutor
+from repro.storage.table import Table
+
+ALL_DATASETS = ("tpch", "taxi", "perfmon", "stocks")
+
+
+def bench_rows(default: int = 60_000) -> int:
+    """Rows per dataset, overridable via ``REPRO_BENCH_ROWS``."""
+    return int(os.environ.get("REPRO_BENCH_ROWS", default))
+
+
+def bench_queries_per_type(default: int = 30) -> int:
+    """Queries per query type, overridable via ``REPRO_BENCH_QUERIES``."""
+    return int(os.environ.get("REPRO_BENCH_QUERIES", default))
+
+
+@dataclass
+class ExperimentResult:
+    """A generic experiment outcome: a report string plus the raw data behind it."""
+
+    name: str
+    report: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.name} ==\n{self.report}"
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — dataset and query characteristics
+# ---------------------------------------------------------------------------
+
+
+def experiment_table3(
+    num_rows: int | None = None, queries_per_type: int | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Regenerate Table 3: rows, query types, dimensions, and size per dataset."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    rows = []
+    data = {}
+    for name in ALL_DATASETS:
+        table, workload = load_dataset(
+            name, num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+        )
+        stats = workload.statistics(table)
+        rows.append(
+            {
+                "dataset": name,
+                "records": table.num_rows,
+                "query types": stats.num_query_types,
+                "dimensions": table.num_dimensions,
+                "size (MiB)": round(table.size_bytes() / 2**20, 2),
+                "selectivity": f"{stats.min_selectivity:.3%}..{stats.max_selectivity:.3%}",
+                "avg selectivity": f"{stats.avg_selectivity:.3%}",
+            }
+        )
+        data[name] = {"table": stats, "paper_rows": DATASETS[name].paper_rows}
+    return ExperimentResult("Table 3: dataset characteristics", format_table(rows), data)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — index statistics after optimization
+# ---------------------------------------------------------------------------
+
+
+def experiment_table4(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    datasets: tuple[str, ...] = ALL_DATASETS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table 4: Grid Tree shape, per-region statistics, and cell counts."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    rows = []
+    data = {}
+    for name in datasets:
+        table, workload = load_dataset(
+            name, num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+        )
+        tsunami = TsunamiIndex()
+        tsunami.build(table, workload)
+        flood = FloodIndex()
+        flood.build(table, workload)
+        stats = tsunami.describe()
+        rows.append(
+            {
+                "dataset": name,
+                "GT nodes": stats["num_grid_tree_nodes"],
+                "GT depth": stats["grid_tree_depth"],
+                "regions": stats["num_leaf_regions"],
+                "min pts/region": stats["min_points_per_region"],
+                "median pts/region": stats["median_points_per_region"],
+                "max pts/region": stats["max_points_per_region"],
+                "avg FMs": round(stats["avg_functional_mappings_per_region"], 2),
+                "avg CCDFs": round(stats["avg_conditional_cdfs_per_region"], 2),
+                "tsunami cells": stats["total_grid_cells"],
+                "flood cells": flood.num_cells,
+            }
+        )
+        data[name] = {"tsunami": stats, "flood_cells": flood.num_cells}
+    return ExperimentResult("Table 4: index statistics after optimization", format_table(rows), data)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 / Fig. 8 — overall query throughput and index size
+# ---------------------------------------------------------------------------
+
+
+def experiment_overall(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    datasets: tuple[str, ...] = ALL_DATASETS,
+    include_nonlearned: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 7 (query throughput) and Fig. 8 (index size) in one pass."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    factories = default_index_factories() if include_nonlearned else learned_index_factories()
+    all_rows = []
+    data: dict[str, list[IndexMeasurement]] = {}
+    for name in datasets:
+        table, workload = load_dataset(
+            name, num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+        )
+        measurements = run_comparison(table, workload, factories, dataset_name=name)
+        data[name] = measurements
+        throughput = {m.index_name: m.queries_per_second for m in measurements}
+        sizes = {m.index_name: float(m.index_size_bytes) for m in measurements}
+        speedups = relative_factors(throughput, reference="flood") if "flood" in throughput else {}
+        for measurement in measurements:
+            row = measurement.as_row()
+            row["vs flood"] = (
+                f"{speedups.get(measurement.index_name, float('nan')):.2f}x" if speedups else "-"
+            )
+            all_rows.append(row)
+        _ = sizes
+    return ExperimentResult(
+        "Fig. 7 / Fig. 8: overall throughput and index size", format_table(all_rows), data
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — adaptability to workload shift and index creation time
+# ---------------------------------------------------------------------------
+
+
+def experiment_adaptability(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 9a: throughput before the shift, after it, and after re-optimizing."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    table = make_tpch_dataset(num_rows=num_rows, seed=seed)
+    original = generate_workload(
+        table, tpch_templates(queries_per_type), seed=1, name="tpch_original"
+    )
+    shifted = generate_workload(
+        table, tpch_shifted_templates(queries_per_type), seed=2, name="tpch_shifted"
+    )
+
+    tsunami = TsunamiIndex()
+    before = measure_index(tsunami, table, original, dataset_name="tpch")
+
+    # The workload changes "at midnight": the old layout now serves new queries.
+    expected_shifted = expected_answers(table, shifted)
+    degraded_seconds = 0.0
+    degraded_scanned = 0
+    correct = True
+    for position, query in enumerate(shifted):
+        start = time.perf_counter()
+        result = tsunami.execute(query)
+        degraded_seconds += time.perf_counter() - start
+        degraded_scanned += result.stats.points_scanned
+        correct &= result.value == expected_shifted[position]
+
+    reoptimize_seconds = tsunami.reoptimize(shifted)
+    after = measure_index(tsunami, table, shifted, dataset_name="tpch", expected=expected_shifted)
+
+    rows = [
+        {
+            "phase": "original workload (optimized)",
+            "queries/s": round(before.queries_per_second, 1),
+            "avg scanned": round(before.avg_points_scanned, 1),
+            "correct": before.correct,
+        },
+        {
+            "phase": "after shift (stale layout)",
+            "queries/s": round(len(shifted) / degraded_seconds, 1) if degraded_seconds else float("inf"),
+            "avg scanned": round(degraded_scanned / max(len(shifted), 1), 1),
+            "correct": correct,
+        },
+        {
+            "phase": f"after re-optimization ({reoptimize_seconds:.1f}s)",
+            "queries/s": round(after.queries_per_second, 1),
+            "avg scanned": round(after.avg_points_scanned, 1),
+            "correct": after.correct,
+        },
+    ]
+    data = {
+        "before": before,
+        "degraded_avg_scanned": degraded_scanned / max(len(shifted), 1),
+        "degraded_avg_seconds": degraded_seconds / max(len(shifted), 1),
+        "reoptimize_seconds": reoptimize_seconds,
+        "after": after,
+    }
+    return ExperimentResult("Fig. 9a: adaptability to workload shift", format_table(rows), data)
+
+
+def experiment_creation_time(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 9b: per-index build time split into sorting vs optimization."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    table, workload = load_dataset(
+        "tpch", num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+    )
+    factories = default_index_factories()
+    rows = []
+    data = {}
+    for name, factory in factories.items():
+        index = factory()
+        index.build(table, workload)
+        rows.append(
+            {
+                "index": name,
+                "sort (s)": round(index.build_report.sort_seconds, 3),
+                "optimize (s)": round(index.build_report.optimize_seconds, 3),
+                "total (s)": round(index.build_report.total_seconds, 3),
+            }
+        )
+        data[name] = index.build_report
+    return ExperimentResult("Fig. 9b: index creation time", format_table(rows), data)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — scaling with dimensionality (uncorrelated vs correlated)
+# ---------------------------------------------------------------------------
+
+
+def experiment_dimensions(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    dimension_counts: tuple[int, ...] = (4, 8, 12),
+    correlated: bool = True,
+    include_nonlearned: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate one panel of Fig. 10: throughput vs number of dimensions."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    factories = (
+        {
+            **learned_index_factories(),
+            "kd-tree": lambda: KdTreeIndex(page_size=2048),
+            "z-order": lambda: ZOrderIndex(page_size=2048),
+        }
+        if include_nonlearned
+        else learned_index_factories()
+    )
+    series: dict[str, list[float]] = {name: [] for name in factories}
+    data = {}
+    for dims in dimension_counts:
+        if correlated:
+            table = make_correlated_dataset(num_rows=num_rows, num_dimensions=dims, seed=seed)
+        else:
+            table = make_uniform_dataset(num_rows=num_rows, num_dimensions=dims, seed=seed)
+        workload = synthetic_scaling_workload(
+            table, queries_per_type=queries_per_type, seed=seed + 1
+        )
+        measurements = run_comparison(table, workload, factories, dataset_name=table.name)
+        data[dims] = measurements
+        for measurement in measurements:
+            series[measurement.index_name].append(measurement.queries_per_second)
+    kind = "correlated" if correlated else "uncorrelated"
+    report = format_series("dimensions", list(dimension_counts), series)
+    return ExperimentResult(f"Fig. 10: throughput vs dimensionality ({kind})", report, data)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — scaling with dataset size and query selectivity
+# ---------------------------------------------------------------------------
+
+
+def experiment_dataset_size(
+    row_counts: tuple[int, ...] | None = None,
+    queries_per_type: int | None = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 11a: throughput vs dataset size on the TPC-H stand-in."""
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    if row_counts is None:
+        base = bench_rows()
+        row_counts = (base // 4, base // 2, base)
+    factories = {
+        **learned_index_factories(),
+        "kd-tree": lambda: KdTreeIndex(page_size=2048),
+    }
+    series: dict[str, list[float]] = {name: [] for name in factories}
+    data = {}
+    for rows in row_counts:
+        table, workload = load_dataset(
+            "tpch", num_rows=rows, queries_per_type=queries_per_type, seed=seed
+        )
+        measurements = run_comparison(table, workload, factories, dataset_name=f"tpch_{rows}")
+        data[rows] = measurements
+        for measurement in measurements:
+            series[measurement.index_name].append(measurement.queries_per_second)
+    report = format_series("rows", list(row_counts), series)
+    return ExperimentResult("Fig. 11a: throughput vs dataset size", report, data)
+
+
+def experiment_selectivity(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    selectivity_factors: tuple[float, ...] = (0.25, 1.0, 4.0),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 11b: throughput vs query selectivity on the correlated synthetic data."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    table = make_correlated_dataset(num_rows=num_rows, num_dimensions=8, seed=seed)
+    base_templates = synthetic_templates(
+        num_dimensions=8, queries_per_type=queries_per_type
+    )
+    factories = learned_index_factories()
+    series: dict[str, list[float]] = {name: [] for name in factories}
+    selectivities = []
+    data = {}
+    for factor in selectivity_factors:
+        templates = scale_template_selectivities(base_templates, factor)
+        workload = generate_workload(table, templates, seed=seed + 3, name=f"sel_{factor}")
+        stats = workload.statistics(table)
+        selectivities.append(round(stats.avg_selectivity, 6))
+        measurements = run_comparison(table, workload, factories, dataset_name=f"sel_{factor}")
+        data[factor] = {"measurements": measurements, "avg_selectivity": stats.avg_selectivity}
+        for measurement in measurements:
+            series[measurement.index_name].append(measurement.queries_per_second)
+    report = format_series("avg selectivity", selectivities, series)
+    return ExperimentResult("Fig. 11b: throughput vs query selectivity", report, data)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12a — component drill-down
+# ---------------------------------------------------------------------------
+
+
+def experiment_components(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    datasets: tuple[str, ...] = ("tpch", "taxi"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 12a: Flood vs Augmented-Grid-only vs Grid-Tree-only vs Tsunami."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    factories = {
+        "flood": FloodIndex,
+        "augmented-grid-only": AugmentedGridOnlyIndex,
+        "grid-tree-only": GridTreeOnlyIndex,
+        "tsunami": TsunamiIndex,
+    }
+    rows = []
+    data = {}
+    for name in datasets:
+        table, workload = load_dataset(
+            name, num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+        )
+        measurements = run_comparison(table, workload, factories, dataset_name=name)
+        data[name] = measurements
+        throughput = {m.index_name: m.queries_per_second for m in measurements}
+        factors = relative_factors(throughput, reference="flood")
+        for measurement in measurements:
+            rows.append(
+                {
+                    "dataset": name,
+                    "variant": measurement.index_name,
+                    "queries/s": round(measurement.queries_per_second, 1),
+                    "avg scanned": round(measurement.avg_points_scanned, 1),
+                    "vs flood": f"{factors[measurement.index_name]:.2f}x",
+                    "correct": measurement.correct,
+                }
+            )
+    return ExperimentResult("Fig. 12a: component drill-down", format_table(rows), data)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12b — optimization methods and cost-model accuracy
+# ---------------------------------------------------------------------------
+
+
+def experiment_optimizers(
+    num_rows: int | None = None,
+    queries_per_type: int | None = None,
+    datasets: tuple[str, ...] = ("tpch",),
+    blackbox_iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 12b: AGD vs GD vs Black-Box vs AGD-NI, predicted vs actual cost."""
+    num_rows = num_rows or bench_rows()
+    queries_per_type = queries_per_type or bench_queries_per_type()
+    rows = []
+    data = {}
+    for name in datasets:
+        table, workload = load_dataset(
+            name, num_rows=num_rows, queries_per_type=queries_per_type, seed=seed
+        )
+        methods = {
+            "AGD": AdaptiveGradientDescent(),
+            "GD": GradientDescentOnly(),
+            "Black Box": BlackBoxOptimizer(iterations=blackbox_iterations),
+            "AGD-NI": AdaptiveGradientDescent(naive_init=True),
+        }
+        data[name] = {}
+        for method_name, optimizer in methods.items():
+            result = optimizer.optimize(table, workload)
+            grid = AugmentedGrid(result.config)
+            permutation = grid.fit(table)
+            table.reorder(permutation)
+            # Measure per-query wall-clock time and plan features on the fully
+            # built grid, then fit the cost-model weights to the measurements
+            # to quantify the model's relative error (the Fig. 12b error bars).
+            executor = ScanExecutor(table)
+            per_query_seconds = []
+            features = []
+            for query in workload:
+                _, feature = grid.plan(query)
+                features.append(feature)
+                ranges = grid.ranges_for_query(query)
+                start = time.perf_counter()
+                executor.execute(
+                    ranges,
+                    query.filters(),
+                    aggregate=query.aggregate,
+                    aggregate_column=query.aggregate_column,
+                )
+                per_query_seconds.append(time.perf_counter() - start)
+            avg_actual = sum(per_query_seconds) / max(len(per_query_seconds), 1)
+            calibrated = CostModel.calibrate(features, per_query_seconds)
+            model_error = calibrated.relative_error(features, per_query_seconds)
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method_name,
+                    "predicted cost": round(result.predicted_cost, 1),
+                    "actual avg query (ms)": round(avg_actual * 1e3, 3),
+                    "cost model error": f"{model_error:.1%}",
+                    "evaluations": result.evaluations,
+                    "skeleton": result.config.skeleton.describe(),
+                }
+            )
+            data[name][method_name] = {
+                "result": result,
+                "actual_avg_seconds": avg_actual,
+                "per_query_seconds": per_query_seconds,
+                "features": features,
+                "calibrated": calibrated,
+                "model_error": model_error,
+            }
+    return ExperimentResult("Fig. 12b: optimization method comparison", format_table(rows), data)

@@ -1,0 +1,227 @@
+"""Command-line front door to the library.
+
+``python -m repro.cli`` lets a user exercise the whole pipeline — get data in,
+build an optimized index, run SQL against it, inspect plans, and snapshot the
+result — without writing any Python:
+
+* ``inspect``  — show a dataset's (or CSV file's) schema and basic statistics.
+* ``build``    — build an index over a generated dataset or a CSV file and
+  save it as a snapshot directory (see :mod:`repro.storage.persistence`).
+* ``query``    — run a SQL statement against a snapshot (or build on the fly),
+  printing the answer and the work done.
+* ``explain``  — print the physical plan an index would use for a statement.
+
+Examples::
+
+    python -m repro.cli inspect --dataset taxi --rows 50000
+    python -m repro.cli build --dataset tpch --rows 100000 --index tsunami \
+        --snapshot /tmp/tpch_snapshot
+    python -m repro.cli query --snapshot /tmp/tpch_snapshot \
+        --sql "SELECT COUNT(*) FROM lineitem WHERE quantity < 10"
+    python -m repro.cli explain --snapshot /tmp/tpch_snapshot \
+        --sql "SELECT COUNT(*) FROM lineitem WHERE quantity < 10"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines import (
+    FloodIndex,
+    FullScanIndex,
+    GridFileIndex,
+    HyperOctreeIndex,
+    KdTreeIndex,
+    RTreeIndex,
+    SingleDimensionIndex,
+    ZOrderIndex,
+)
+from repro.baselines.base import ClusteredIndex
+from repro.common.errors import ReproError
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.datasets import DATASETS, load_dataset
+from repro.query.profile import WorkloadProfile
+from repro.query.sql import parse_query
+from repro.query.workload import Workload
+from repro.storage.csv_io import read_csv
+from repro.storage.persistence import load_index, save_index
+from repro.storage.table import Table
+
+#: Index name (CLI value) -> factory taking a page size.
+INDEX_FACTORIES = {
+    "tsunami": lambda page_size: TsunamiIndex(TsunamiConfig(optimizer_iterations=2)),
+    "flood": lambda page_size: FloodIndex(optimizer_iterations=2),
+    "kd-tree": lambda page_size: KdTreeIndex(page_size=page_size),
+    "z-order": lambda page_size: ZOrderIndex(page_size=page_size),
+    "hyperoctree": lambda page_size: HyperOctreeIndex(page_size=page_size),
+    "grid-file": lambda page_size: GridFileIndex(page_size=page_size),
+    "r-tree": lambda page_size: RTreeIndex(page_size=page_size),
+    "single-dim": lambda page_size: SingleDimensionIndex(),
+    "full-scan": lambda page_size: FullScanIndex(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Build and query learned multi-dimensional indexes (Tsunami reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_source_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--dataset",
+            choices=sorted(DATASETS),
+            help="generate one of the paper's stand-in datasets",
+        )
+        subparser.add_argument("--csv", type=Path, help="ingest a CSV file instead")
+        subparser.add_argument("--rows", type=int, default=50_000, help="rows to generate")
+        subparser.add_argument(
+            "--queries", type=int, default=50, help="queries per type for optimization"
+        )
+        subparser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+    inspect_parser = subparsers.add_parser("inspect", help="show a table's schema and statistics")
+    add_source_arguments(inspect_parser)
+
+    build_parser_ = subparsers.add_parser("build", help="build an index and snapshot it")
+    add_source_arguments(build_parser_)
+    build_parser_.add_argument(
+        "--index", choices=sorted(INDEX_FACTORIES), default="tsunami", help="index to build"
+    )
+    build_parser_.add_argument("--page-size", type=int, default=2048, help="baseline page size")
+    build_parser_.add_argument(
+        "--snapshot", type=Path, required=True, help="directory to write the snapshot to"
+    )
+
+    for name, help_text in (
+        ("query", "run a SQL statement and print the answer"),
+        ("explain", "print the physical plan for a SQL statement"),
+    ):
+        sql_parser = subparsers.add_parser(name, help=help_text)
+        sql_parser.add_argument("--snapshot", type=Path, help="snapshot directory to load")
+        add_source_arguments(sql_parser)
+        sql_parser.add_argument(
+            "--index", choices=sorted(INDEX_FACTORIES), default="tsunami",
+            help="index to build when no snapshot is given",
+        )
+        sql_parser.add_argument("--page-size", type=int, default=2048, help="baseline page size")
+        sql_parser.add_argument("--sql", required=True, help="SQL statement to run")
+
+    return parser
+
+
+def _load_table(args: argparse.Namespace) -> tuple[Table, Workload | None]:
+    """Materialise the table (and optimization workload) the arguments describe."""
+    if args.csv is not None and args.dataset is not None:
+        raise ReproError("pass either --dataset or --csv, not both")
+    if args.csv is not None:
+        return read_csv(args.csv, max_rows=args.rows), None
+    if args.dataset is not None:
+        table, workload = load_dataset(
+            args.dataset,
+            num_rows=args.rows,
+            queries_per_type=args.queries,
+            seed=args.seed,
+        )
+        return table, workload
+    raise ReproError("one of --dataset or --csv is required")
+
+
+def _build_index(args: argparse.Namespace) -> ClusteredIndex:
+    """Build the requested index over the requested data."""
+    table, workload = _load_table(args)
+    factory = INDEX_FACTORIES[args.index]
+    index = factory(args.page_size)
+    start = time.perf_counter()
+    index.build(table, workload)
+    seconds = time.perf_counter() - start
+    print(
+        f"built {args.index} over {table.num_rows} rows in {seconds:.2f}s "
+        f"({index.index_size_bytes() / 1024:.1f} KiB of index structure)"
+    )
+    return index
+
+
+def _obtain_index(args: argparse.Namespace) -> ClusteredIndex:
+    """Load the snapshot if one is given, otherwise build an index on the fly."""
+    if args.snapshot is not None and (Path(args.snapshot) / "index.pkl").exists():
+        index = load_index(args.snapshot)
+        print(f"loaded snapshot from {args.snapshot} ({index.name}, {index.table.num_rows} rows)")
+        return index
+    return _build_index(args)
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    table, workload = _load_table(args)
+    print(f"table {table.name!r}: {table.num_rows} rows, {table.num_dimensions} dimensions, "
+          f"{table.size_bytes() / 2**20:.2f} MiB")
+    for name in table.column_names:
+        column = table.column(name)
+        kind = "string" if column.dictionary else ("float" if column.scaler else "int")
+        low, high = table.bounds(name)
+        print(f"  {name:20s} {kind:7s} storage range [{low}, {high}]")
+    if workload is not None:
+        print(workload.statistics(table).describe())
+        print()
+        print(WorkloadProfile.build(table, workload).describe())
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    index = _build_index(args)
+    save_index(index, args.snapshot)
+    print(f"snapshot written to {args.snapshot}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    index = _obtain_index(args)
+    query = parse_query(args.sql, index.table)
+    start = time.perf_counter()
+    result = index.execute(query)
+    seconds = time.perf_counter() - start
+    print(f"{result.value}")
+    print(
+        f"-- {seconds * 1e3:.2f} ms, scanned {result.stats.points_scanned} rows in "
+        f"{result.stats.cell_ranges} cell ranges, {result.stats.rows_matched} matched"
+    )
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    index = _obtain_index(args)
+    query = parse_query(args.sql, index.table)
+    plan = index.explain(query)
+    for key, value in plan.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        print(f"{key:25s} {value}")
+    return 0
+
+
+_COMMANDS = {
+    "inspect": _command_inspect,
+    "build": _command_build,
+    "query": _command_query,
+    "explain": _command_explain,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Shared utilities: errors, random-number helpers, and small data types.
+
+The rest of the package depends only on this subpackage and on NumPy/SciPy,
+so anything placed here must stay dependency-free with respect to the other
+``repro`` subpackages.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    SchemaError,
+    QueryError,
+    IndexBuildError,
+    OptimizationError,
+)
+from repro.common.rng import make_rng, spawn_rngs
+from repro.common.validation import (
+    ensure_int64_array,
+    ensure_positive,
+    ensure_in_range,
+    ensure_non_empty,
+)
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "IndexBuildError",
+    "OptimizationError",
+    "make_rng",
+    "spawn_rngs",
+    "ensure_int64_array",
+    "ensure_positive",
+    "ensure_in_range",
+    "ensure_non_empty",
+]

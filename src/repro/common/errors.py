@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Tsunami reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at an API boundary.  The subclasses partition
+failures by subsystem:
+
+* :class:`SchemaError` — malformed tables, unknown columns, bad dtypes.
+* :class:`QueryError` — malformed predicates or aggregations.
+* :class:`IndexBuildError` — an index could not be constructed from the data
+  and workload it was given.
+* :class:`OptimizationError` — the layout optimizer could not converge or was
+  given an infeasible configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or dtype does not satisfy the storage layer's rules."""
+
+
+class QueryError(ReproError):
+    """A query references unknown dimensions or uses an invalid predicate."""
+
+
+class IndexBuildError(ReproError):
+    """An index could not be built from the supplied data and workload."""
+
+
+class OptimizationError(ReproError):
+    """Layout optimization failed or was configured inconsistently."""

@@ -1,0 +1,61 @@
+"""Small argument-validation helpers used across the package.
+
+These exist so that validation failures raise consistent, informative errors
+at API boundaries instead of surfacing as cryptic NumPy exceptions deep inside
+index internals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+
+
+def ensure_int64_array(values: object, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``int64`` array or raise :class:`SchemaError`.
+
+    Floating-point input is accepted only when it is integral (the storage
+    layer requires callers to fixed-point scale floats explicitly).
+    """
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise SchemaError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size and not np.issubdtype(array.dtype, np.number):
+        raise SchemaError(f"{name} must be numeric, got dtype {array.dtype}")
+    if np.issubdtype(array.dtype, np.floating):
+        if array.size and not np.all(np.isfinite(array)):
+            raise SchemaError(f"{name} contains non-finite values")
+        rounded = np.rint(array)
+        if array.size and not np.allclose(array, rounded, atol=1e-9):
+            raise SchemaError(
+                f"{name} has non-integral floats; scale them to integers first "
+                "(see repro.storage.scaling)"
+            )
+        array = rounded
+    return array.astype(np.int64, copy=False)
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def ensure_in_range(
+    value: float, low: float, high: float, name: str = "value"
+) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_non_empty(items: Sequence, name: str = "sequence") -> Sequence:
+    """Raise ``ValueError`` if ``items`` is empty."""
+    if len(items) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return items

@@ -1,0 +1,426 @@
+"""The Augmented Grid: a correlation-aware grid index over one region (§5).
+
+An Augmented Grid generalizes Flood's grid.  Every dimension uses one of three
+partitioning strategies (see :mod:`repro.core.skeleton`):
+
+* independent CDF partitioning (Flood's behaviour),
+* a functional mapping that removes the dimension from the grid and rewrites
+  its filters onto a target dimension (§5.2.1),
+* conditional-CDF partitioning given a base dimension (§5.2.2), which
+  staggers partition boundaries so cells stay equally sized under correlation.
+
+The grid owns the physical order of its rows: :meth:`AugmentedGrid.fit`
+computes a cell id per row and returns the permutation that clusters rows by
+cell.  Queries are planned by enumerating intersecting cells (respecting the
+conditional-CDF dependency structure), converted to contiguous cell ranges,
+and either executed against the table or returned as cost-model features —
+the optimizer (§5.3) uses the same planning code on a data sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import IndexBuildError, OptimizationError
+from repro.core.cost_model import QueryPlanFeatures
+from repro.core.outliers import OutlierBoundedMapping
+from repro.core.skeleton import (
+    ConditionalCDFStrategy,
+    FunctionalMappingStrategy,
+    IndependentCDFStrategy,
+    Skeleton,
+)
+from repro.query.query import Query
+from repro.stats.cdf import ConditionalCDF, EmpiricalCDF
+from repro.stats.correlation import BoundedLinearModel
+from repro.storage.scan import RowRange
+from repro.storage.table import Table
+
+#: Hard ceiling on the number of grid cells a single Augmented Grid may have.
+#: Protects the lookup table from exploding when an optimizer proposes an
+#: unreasonable partition vector (§5.1 discusses exactly this space blow-up).
+DEFAULT_MAX_CELLS = 1 << 20
+
+
+@dataclass(frozen=True)
+class AugmentedGridConfig:
+    """A concrete Augmented Grid instantiation: skeleton plus partition counts.
+
+    ``outlier_aware_mappings`` enables the §8 extension implemented in
+    :mod:`repro.core.outliers`: functional mappings buffer extreme rows
+    separately so a handful of outliers cannot inflate the mapping's error
+    bounds.  ``outlier_fraction`` caps how many rows may be buffered per
+    mapping.
+    """
+
+    skeleton: Skeleton
+    partitions: dict[str, int]
+    max_cells: int = DEFAULT_MAX_CELLS
+    cdf_knots: int = 64
+    conditional_knots: int = 32
+    outlier_aware_mappings: bool = False
+    outlier_fraction: float = 0.05
+
+    def validated(self) -> "AugmentedGridConfig":
+        """Check partition counts against the skeleton and the cell budget."""
+        grid_dims = self.skeleton.grid_dimensions
+        missing = [dim for dim in grid_dims if dim not in self.partitions]
+        if missing:
+            raise OptimizationError(
+                f"partition counts missing for grid dimensions {missing}"
+            )
+        for dim in grid_dims:
+            if self.partitions[dim] < 1:
+                raise OptimizationError(
+                    f"dimension {dim!r} has invalid partition count "
+                    f"{self.partitions[dim]}"
+                )
+        total_cells = 1
+        for dim in grid_dims:
+            total_cells *= self.partitions[dim]
+        if total_cells > self.max_cells:
+            raise OptimizationError(
+                f"configuration would create {total_cells} cells, exceeding the "
+                f"budget of {self.max_cells}"
+            )
+        return self
+
+    @property
+    def total_cells(self) -> int:
+        """Number of cells this configuration creates."""
+        total = 1
+        for dim in self.skeleton.grid_dimensions:
+            total *= self.partitions[dim]
+        return total
+
+
+@dataclass
+class _CellHit:
+    """One intersecting cell during query planning."""
+
+    cell_id: int
+    exact: bool
+
+
+class AugmentedGrid:
+    """A fitted Augmented Grid over one region's rows."""
+
+    def __init__(self, config: AugmentedGridConfig) -> None:
+        self.config = config.validated()
+        self.skeleton = config.skeleton
+        # Grid-dimension order: independents first so conditional dimensions
+        # always see their base's partition during enumeration and fitting.
+        independents = [
+            dim
+            for dim in self.skeleton.dimensions
+            if isinstance(self.skeleton.strategy_for(dim), IndependentCDFStrategy)
+        ]
+        conditionals = [
+            dim
+            for dim in self.skeleton.dimensions
+            if isinstance(self.skeleton.strategy_for(dim), ConditionalCDFStrategy)
+        ]
+        self.grid_dimensions: list[str] = independents + conditionals
+        self._strides: dict[str, int] = {}
+        self._cdf_models: dict[str, EmpiricalCDF] = {}
+        self._conditional_models: dict[str, ConditionalCDF] = {}
+        self._mapping_models: dict[str, BoundedLinearModel | OutlierBoundedMapping] = {}
+        self._offsets: np.ndarray | None = None
+        self._num_rows = 0
+        self._fitted = False
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, table: Table, model_cache: dict | None = None) -> np.ndarray:
+        """Fit all models, assign rows to cells, and return the clustering permutation.
+
+        The returned permutation orders the table's rows by cell id; the
+        internal lookup table assumes that order, so the caller must apply the
+        permutation (or an equivalent global reordering) before executing
+        queries through this grid.
+
+        ``model_cache`` lets the optimizer reuse per-dimension models across
+        the many candidate configurations it evaluates on the *same* sample
+        table; it must not be shared across different tables.
+        """
+        if table.num_rows == 0:
+            raise IndexBuildError("cannot fit an Augmented Grid over zero rows")
+        for dim in self.skeleton.dimensions:
+            if dim not in table:
+                raise IndexBuildError(
+                    f"skeleton dimension {dim!r} is not a column of table {table.name!r}"
+                )
+        self._num_rows = table.num_rows
+        partition_ids: dict[str, np.ndarray] = {}
+        cache = model_cache if model_cache is not None else {}
+
+        # Independent dimensions first: their CDF models and partition ids are
+        # needed by both conditional dimensions and functional mappings.
+        # Dimensions with a single partition need no model at all: every row
+        # lands in partition 0.
+        for dim in self.grid_dimensions:
+            strategy = self.skeleton.strategy_for(dim)
+            if not isinstance(strategy, IndependentCDFStrategy):
+                continue
+            count = self.config.partitions[dim]
+            if count == 1:
+                partition_ids[dim] = np.zeros(table.num_rows, dtype=np.int64)
+                continue
+            # Model resolution only needs to resolve ``count`` partition
+            # boundaries, so size the knot budget proportionally.
+            knots = min(self.config.cdf_knots, max(8, 4 * count))
+            key = ("cdf", dim, knots)
+            model = cache.get(key)
+            if model is None:
+                model = EmpiricalCDF(table.values(dim), max_knots=knots)
+                cache[key] = model
+            self._cdf_models[dim] = model
+            partition_ids[dim] = model.partitions_of(table.values(dim), count)
+
+        # Conditional dimensions: one CDF per base partition.
+        for dim in self.grid_dimensions:
+            strategy = self.skeleton.strategy_for(dim)
+            if not isinstance(strategy, ConditionalCDFStrategy):
+                continue
+            base = strategy.base
+            count = self.config.partitions[dim]
+            if count == 1:
+                partition_ids[dim] = np.zeros(table.num_rows, dtype=np.int64)
+                continue
+            knots = min(self.config.conditional_knots, max(4, 4 * count))
+            key = ("cond", dim, base, self.config.partitions[base], knots)
+            model = cache.get(key)
+            if model is None:
+                model = ConditionalCDF(
+                    base_partitions=partition_ids[base],
+                    dependent_values=table.values(dim),
+                    num_base_partitions=self.config.partitions[base],
+                    max_knots=knots,
+                )
+                cache[key] = model
+            self._conditional_models[dim] = model
+            partition_ids[dim] = model.partitions_of(
+                table.values(dim), partition_ids[base], count
+            )
+
+        # Mapped dimensions: fit the bounded regression predicting the target.
+        # With ``outlier_aware_mappings`` the §8 extension is used instead:
+        # extreme rows go to a per-mapping outlier buffer so they cannot
+        # inflate the error bounds (see repro.core.outliers).
+        for dim in self.skeleton.mapped_dimensions:
+            strategy = self.skeleton.strategy_for(dim)
+            assert isinstance(strategy, FunctionalMappingStrategy)
+            key = ("map", dim, strategy.target, self.config.outlier_aware_mappings)
+            model = cache.get(key)
+            if model is None:
+                if self.config.outlier_aware_mappings:
+                    model = OutlierBoundedMapping.fit(
+                        mapped_values=table.values(dim),
+                        target_values=table.values(strategy.target),
+                        max_outlier_fraction=self.config.outlier_fraction,
+                    )
+                else:
+                    model = BoundedLinearModel.fit(
+                        mapped_values=table.values(dim),
+                        target_values=table.values(strategy.target),
+                    )
+                cache[key] = model
+            self._mapping_models[dim] = model
+
+        # Row-major cell ids over the grid dimensions.
+        self._strides = {}
+        stride = 1
+        for dim in reversed(self.grid_dimensions):
+            self._strides[dim] = stride
+            stride *= self.config.partitions[dim]
+        total_cells = stride if self.grid_dimensions else 1
+
+        cell_ids = np.zeros(table.num_rows, dtype=np.int64)
+        for dim in self.grid_dimensions:
+            cell_ids += partition_ids[dim] * self._strides[dim]
+
+        permutation = np.argsort(cell_ids, kind="stable")
+        sorted_cells = cell_ids[permutation]
+        counts = np.bincount(sorted_cells, minlength=total_cells)
+        self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._fitted = True
+        return permutation
+
+    # -- planning ------------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if not self._fitted or self._offsets is None:
+            raise IndexBuildError("AugmentedGrid has not been fitted")
+
+    def _effective_bounds(self, query: Query) -> dict[str, tuple[float, float]]:
+        """Per-grid-dimension filter bounds after applying functional mappings.
+
+        A filter over a mapped dimension is rewritten (via the mapping's error
+        bounds) into a covering range over its target dimension and intersected
+        with any direct filter over the target.
+        """
+        bounds: dict[str, tuple[float, float]] = {}
+        for dim in self.grid_dimensions:
+            predicate = query.predicate_for(dim)
+            if predicate is not None:
+                bounds[dim] = (float(predicate.low), float(predicate.high))
+        for dim in self.skeleton.mapped_dimensions:
+            predicate = query.predicate_for(dim)
+            if predicate is None:
+                continue
+            strategy = self.skeleton.strategy_for(dim)
+            assert isinstance(strategy, FunctionalMappingStrategy)
+            mapped_low, mapped_high = self._mapping_models[dim].map_range(
+                float(predicate.low), float(predicate.high)
+            )
+            if strategy.target in bounds:
+                existing_low, existing_high = bounds[strategy.target]
+                bounds[strategy.target] = (
+                    max(existing_low, mapped_low),
+                    min(existing_high, mapped_high),
+                )
+            else:
+                bounds[strategy.target] = (mapped_low, mapped_high)
+        return bounds
+
+    def _partition_window(
+        self,
+        dim: str,
+        bounds: dict[str, tuple[float, float]],
+        assignment: dict[str, int],
+    ) -> tuple[int, int]:
+        """Inclusive partition-id window of ``dim`` given bounds and base assignments."""
+        num_partitions = self.config.partitions[dim]
+        if dim not in bounds or num_partitions == 1:
+            return 0, num_partitions - 1
+        low, high = bounds[dim]
+        if high < low:
+            return 1, 0  # empty window
+        strategy = self.skeleton.strategy_for(dim)
+        if isinstance(strategy, IndependentCDFStrategy):
+            return self._cdf_models[dim].partition_range(low, high, num_partitions)
+        assert isinstance(strategy, ConditionalCDFStrategy)
+        base_partition = assignment[strategy.base]
+        return self._conditional_models[dim].partition_range(
+            low, high, base_partition, num_partitions
+        )
+
+    def _enumerate_cells(self, query: Query) -> list[_CellHit]:
+        """All cells intersecting ``query``, with per-cell exactness flags."""
+        bounds = self._effective_bounds(query)
+        filtered_dims = set(query.filtered_dimensions)
+        # The exact-range optimization is only safe when every filtered
+        # dimension is constrained by the grid itself (mapped dimensions are
+        # not: their cells can contain rows outside the mapped filter).
+        exactness_possible = filtered_dims.issubset(set(self.grid_dimensions))
+
+        hits: list[_CellHit] = []
+
+        def recurse(position: int, cell_base: int, assignment: dict[str, int], exact: bool) -> None:
+            if position == len(self.grid_dimensions):
+                hits.append(_CellHit(cell_id=cell_base, exact=exact))
+                return
+            dim = self.grid_dimensions[position]
+            first, last = self._partition_window(dim, bounds, assignment)
+            if first > last:
+                return
+            stride = self._strides[dim]
+            query_filters_dim = dim in filtered_dims
+            for partition in range(first, last + 1):
+                # A partition strictly inside the window only contains values
+                # inside the filter range (CDF monotonicity), so it preserves
+                # exactness; boundary partitions may straddle the filter edge.
+                interior = first < partition < last
+                child_exact = exact and (not query_filters_dim or interior)
+                assignment[dim] = partition
+                recurse(position + 1, cell_base + partition * stride, assignment, child_exact)
+            del assignment[dim]
+
+        recurse(0, 0, {}, exactness_possible)
+        return hits
+
+    def _hits_to_ranges(self, hits: list[_CellHit]) -> list[tuple[int, int, bool]]:
+        """Convert cell hits to coalesced relative row ranges ``(start, stop, exact)``."""
+        assert self._offsets is not None
+        spans: list[tuple[int, int, bool]] = []
+        for hit in sorted(hits, key=lambda h: h.cell_id):
+            start = int(self._offsets[hit.cell_id])
+            stop = int(self._offsets[hit.cell_id + 1])
+            if stop <= start:
+                continue
+            if spans and spans[-1][1] == start and spans[-1][2] == hit.exact:
+                spans[-1] = (spans[-1][0], stop, hit.exact)
+            else:
+                spans.append((start, stop, hit.exact))
+        return spans
+
+    def plan(self, query: Query) -> tuple[list[tuple[int, int, bool]], QueryPlanFeatures]:
+        """Plan ``query``: relative row ranges plus cost-model features."""
+        self._require_fitted()
+        hits = self._enumerate_cells(query)
+        spans = self._hits_to_ranges(hits)
+        features = QueryPlanFeatures(
+            num_cell_ranges=len(spans),
+            scanned_points=sum(stop - start for start, stop, _ in spans),
+            num_filtered_dimensions=query.num_filtered_dimensions,
+        )
+        return spans, features
+
+    def ranges_for_query(self, query: Query, offset: int = 0) -> list[RowRange]:
+        """Physical row ranges for ``query``, shifted by the region's ``offset``."""
+        spans, _ = self.plan(query)
+        return [
+            RowRange(offset + start, offset + stop, exact=exact)
+            for start, stop, exact in spans
+        ]
+
+    # -- reporting ---------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows this grid indexes."""
+        return self._num_rows
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of grid cells (including empty ones)."""
+        return self.config.total_cells
+
+    @property
+    def num_nonempty_cells(self) -> int:
+        """Number of grid cells containing at least one row."""
+        self._require_fitted()
+        assert self._offsets is not None
+        return int(np.count_nonzero(np.diff(self._offsets)))
+
+    def cell_sizes(self) -> np.ndarray:
+        """Number of rows in every cell (length ``num_cells``)."""
+        self._require_fitted()
+        assert self._offsets is not None
+        return np.diff(self._offsets)
+
+    def index_size_bytes(self) -> int:
+        """Lookup table plus all per-dimension models (§5.1 space accounting)."""
+        self._require_fitted()
+        total = self.num_cells * 8  # lookup table: one offset per cell
+        for model in self._cdf_models.values():
+            total += model.size_bytes()
+        for conditional in self._conditional_models.values():
+            total += conditional.size_bytes()
+        for mapping in self._mapping_models.values():
+            total += mapping.size_bytes()
+        return total
+
+    def describe(self) -> dict:
+        """Structural statistics used by Table 4 and the drill-down benchmarks."""
+        return {
+            "skeleton": self.skeleton.describe(),
+            "partitions": dict(self.config.partitions),
+            "num_cells": self.num_cells,
+            "num_nonempty_cells": self.num_nonempty_cells if self._fitted else 0,
+            "num_functional_mappings": self.skeleton.num_functional_mappings,
+            "num_conditional_cdfs": self.skeleton.num_conditional_cdfs,
+            "size_bytes": self.index_size_bytes() if self._fitted else 0,
+        }

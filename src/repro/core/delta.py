@@ -1,0 +1,288 @@
+"""Insert support via delta buffers (§8, "Data and Workload Shift").
+
+Tsunami as published is read-only.  The paper sketches how insertions could be
+supported: "each leaf node in the Grid Tree could maintain a sibling node that
+acts as a delta index [39] in which updates are buffered and periodically
+merged into the main node."  :class:`DeltaBufferedIndex` implements that idea
+one level up, wrapping *any* clustered index in the repository:
+
+* Inserted rows are appended to an in-memory delta buffer kept in storage
+  units (the same 64-bit integer domain the main index uses).
+* Queries are answered by combining the main index's result with a scan of the
+  delta buffer, so reads always see every insert immediately.
+* Once the buffer exceeds ``merge_threshold`` rows (or on an explicit
+  :meth:`merge` call), the buffered rows are folded into the table and the
+  wrapped index is rebuilt — the "periodic merge" of the differential-file
+  technique the paper cites.
+
+The wrapper exposes the same ``execute`` / ``execute_workload`` /
+``index_size_bytes`` / ``describe`` surface as :class:`ClusteredIndex`, so the
+benchmark harness can measure it like any other index.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex, QueryResult
+from repro.common.errors import IndexBuildError, QueryError, SchemaError
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.column import Column
+from repro.storage.scan import ScanStats
+from repro.storage.table import Table
+
+IndexFactory = Callable[[], ClusteredIndex]
+
+
+@dataclass
+class MergeReport:
+    """Outcome of folding the delta buffer into the main index."""
+
+    rows_merged: int
+    rebuild_seconds: float
+    total_rows: int
+
+
+class DeltaBufferedIndex:
+    """A clustered index plus an insert buffer that is periodically merged.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-argument callable producing a fresh instance of the wrapped
+        index; used for the initial build and for every merge-triggered
+        rebuild.
+    merge_threshold:
+        Number of buffered rows at which :meth:`insert` triggers an automatic
+        merge.  Set to ``0`` to merge after every insert, or a large value to
+        manage merges manually via :meth:`merge`.
+    """
+
+    name = "delta-buffered"
+
+    def __init__(self, index_factory: IndexFactory, merge_threshold: int = 10_000) -> None:
+        if merge_threshold < 0:
+            raise ValueError(f"merge_threshold must be >= 0, got {merge_threshold}")
+        self._index_factory = index_factory
+        self.merge_threshold = merge_threshold
+        self._index: ClusteredIndex | None = None
+        self._workload: Workload | None = None
+        self._buffer: dict[str, list[int]] = {}
+        self._merges: list[MergeReport] = []
+
+    # -- build ----------------------------------------------------------------------
+
+    def build(self, table: Table, workload: Workload | None = None) -> "DeltaBufferedIndex":
+        """Build the wrapped index over ``table`` (optionally workload-optimized)."""
+        self._index = self._index_factory()
+        self._index.build(table, workload)
+        self._workload = workload
+        self._buffer = {name: [] for name in table.column_names}
+        return self
+
+    def _require_built(self) -> ClusteredIndex:
+        if self._index is None or not self._index.is_built:
+            raise IndexBuildError("DeltaBufferedIndex has not been built yet")
+        return self._index
+
+    # -- inserts ----------------------------------------------------------------------
+
+    @property
+    def base_index(self) -> ClusteredIndex:
+        """The wrapped clustered index (rebuilt on every merge)."""
+        return self._require_built()
+
+    @property
+    def num_pending(self) -> int:
+        """Number of inserted rows not yet merged into the main index."""
+        if not self._buffer:
+            return 0
+        return len(next(iter(self._buffer.values())))
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows visible to queries (main table plus pending inserts)."""
+        return self._require_built().table.num_rows + self.num_pending
+
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Insert one row given as ``{column: user-facing value}``.
+
+        Values are converted to the storage domain through each column's
+        existing encoding; a categorical value not present in the column's
+        dictionary is rejected (extending dictionaries online is out of scope
+        for this extension and the paper's).
+        """
+        index = self._require_built()
+        table = index.table
+        missing = [name for name in table.column_names if name not in row]
+        if missing:
+            raise SchemaError(f"insert is missing values for columns {missing}")
+        converted = {}
+        for name in table.column_names:
+            column = table.column(name)
+            try:
+                converted[name] = int(column.to_storage(row[name]))
+            except (KeyError, ValueError, TypeError) as exc:
+                raise SchemaError(
+                    f"value {row[name]!r} cannot be stored in column {name!r}: {exc}"
+                ) from exc
+        for name, value in converted.items():
+            self._buffer[name].append(value)
+        if self.merge_threshold and self.num_pending >= self.merge_threshold:
+            self.merge()
+
+    def insert_many(self, rows: Sequence[Mapping[str, object]]) -> None:
+        """Insert several rows (see :meth:`insert`)."""
+        for row in rows:
+            self.insert(row)
+
+    # -- merging ----------------------------------------------------------------------
+
+    def merge(self) -> MergeReport | None:
+        """Fold every pending insert into the table and rebuild the main index.
+
+        Returns the merge report, or ``None`` if the buffer was empty.
+        """
+        index = self._require_built()
+        pending = self.num_pending
+        if pending == 0:
+            return None
+        old_table = index.table
+        start = time.perf_counter()
+        columns = []
+        for name in old_table.column_names:
+            source = old_table.column(name)
+            merged_values = np.concatenate(
+                [source.values, np.asarray(self._buffer[name], dtype=np.int64)]
+            )
+            columns.append(
+                Column(
+                    name,
+                    merged_values,
+                    dictionary=source.dictionary,
+                    scaler=source.scaler,
+                )
+            )
+        merged_table = Table(old_table.name, columns)
+        self._index = self._index_factory()
+        self._index.build(merged_table, self._workload)
+        self._buffer = {name: [] for name in merged_table.column_names}
+        report = MergeReport(
+            rows_merged=pending,
+            rebuild_seconds=time.perf_counter() - start,
+            total_rows=merged_table.num_rows,
+        )
+        self._merges.append(report)
+        return report
+
+    @property
+    def merge_history(self) -> list[MergeReport]:
+        """Every merge performed so far, in order."""
+        return list(self._merges)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def _scan_buffer(self, query: Query) -> tuple[float, float, int, ScanStats]:
+        """Evaluate ``query`` over the delta buffer.
+
+        Returns ``(sum, min_or_max_or_nan, matched_count, stats)`` with the
+        pieces the aggregate combination in :meth:`execute` needs.
+        """
+        pending = self.num_pending
+        stats = ScanStats(dims_accessed=query.num_filtered_dimensions)
+        if pending == 0:
+            return 0.0, float("nan"), 0, stats
+        stats.points_scanned = pending
+        stats.cell_ranges = 1
+        mask = np.ones(pending, dtype=bool)
+        for dim, (low, high) in query.filters().items():
+            if dim not in self._buffer:
+                raise QueryError(f"query filters unknown dimension {dim!r}")
+            values = np.asarray(self._buffer[dim], dtype=np.int64)
+            mask &= (values >= low) & (values <= high)
+        matched = int(mask.sum())
+        stats.rows_matched = matched
+        if matched == 0 or query.aggregate == "count":
+            return 0.0, float("nan"), matched, stats
+        target = np.asarray(self._buffer[query.aggregate_column], dtype=np.int64)[mask]
+        if query.aggregate in {"sum", "avg"}:
+            return float(target.sum()), float("nan"), matched, stats
+        if query.aggregate == "min":
+            return 0.0, float(target.min()), matched, stats
+        return 0.0, float(target.max()), matched, stats
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer ``query`` over the main index plus the delta buffer."""
+        index = self._require_built()
+        buffer_sum, buffer_extreme, buffer_matched, buffer_stats = self._scan_buffer(query)
+
+        if query.aggregate == "avg":
+            # Averages cannot be combined from two averages; ask the main
+            # index for its sum and count separately and recombine.
+            sum_query = Query(
+                predicates=query.predicates,
+                aggregate="sum",
+                aggregate_column=query.aggregate_column,
+                query_type=query.query_type,
+            )
+            count_query = Query(predicates=query.predicates, query_type=query.query_type)
+            sum_result = index.execute(sum_query)
+            count_result = index.execute(count_query)
+            stats = ScanStats()
+            stats.merge(sum_result.stats)
+            stats.merge(buffer_stats)
+            total_sum = sum_result.value + buffer_sum
+            total_count = count_result.value + buffer_matched
+            value = total_sum / total_count if total_count else float("nan")
+            return QueryResult(value=value, stats=stats)
+
+        main_result = index.execute(query)
+        stats = ScanStats()
+        stats.merge(main_result.stats)
+        stats.merge(buffer_stats)
+        if query.aggregate in {"count", "sum"}:
+            extra = buffer_matched if query.aggregate == "count" else buffer_sum
+            return QueryResult(value=main_result.value + extra, stats=stats)
+        # min / max: combine, treating NaN as "no rows on that side".
+        candidates = [
+            candidate
+            for candidate in (main_result.value, buffer_extreme)
+            if not np.isnan(candidate)
+        ]
+        if not candidates:
+            return QueryResult(value=float("nan"), stats=stats)
+        combined = min(candidates) if query.aggregate == "min" else max(candidates)
+        return QueryResult(value=combined, stats=stats)
+
+    def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
+        """Execute every query in ``workload`` and return results plus total work."""
+        results = []
+        total = ScanStats()
+        for query in workload:
+            result = self.execute(query)
+            results.append(result)
+            total.merge(result.stats)
+        return results, total
+
+    # -- reporting --------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        """Main index size plus the delta buffer (8 bytes per buffered value)."""
+        buffered_values = self.num_pending * len(self._buffer)
+        return self._require_built().index_size_bytes() + 8 * buffered_values
+
+    def describe(self) -> dict:
+        """Structural statistics of the wrapper and the current main index."""
+        return {
+            "name": self.name,
+            "pending_inserts": self.num_pending,
+            "merge_threshold": self.merge_threshold,
+            "num_merges": len(self._merges),
+            "total_rows": self.num_rows,
+            "base_index": self._require_built().describe(),
+        }

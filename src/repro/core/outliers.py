@@ -1,0 +1,188 @@
+"""Outlier-aware functional mappings (§8, "Complex Correlations").
+
+The paper points out that plain functional mappings "are not robust to
+outliers: one outlier can significantly increase the error bound of the
+mapping" and sketches the fix used by Hermit [45]: keep the outliers in a
+separate buffer so the regression's error bounds only have to cover the
+well-behaved points.
+
+:class:`OutlierBoundedMapping` implements that extension.  It fits a
+:class:`~repro.stats.correlation.BoundedLinearModel` on the inlier subset of
+the data and stores the outlying ``(mapped, target)`` pairs explicitly.  The
+covering guarantee of §5.2.1 is preserved: a filter range over the mapped
+dimension Y is rewritten to the union of
+
+* the inlier model's predicted range (with its now much tighter error bounds),
+  and
+* the exact target values of every buffered outlier whose mapped value falls
+  inside the filter range.
+
+The class intentionally mirrors the interface of ``BoundedLinearModel``
+(:meth:`predict`, :meth:`map_range`, :attr:`error_span`,
+:meth:`relative_error`, :meth:`size_bytes`), so the Augmented Grid can use
+either implementation behind the ``outlier_aware_mappings`` configuration
+switch without any further changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import IndexBuildError
+from repro.stats.correlation import BoundedLinearModel
+
+#: Residuals beyond this many robust standard deviations (MAD-based) are
+#: treated as outliers, subject to the ``max_outlier_fraction`` cap.
+DEFAULT_RESIDUAL_SIGMAS = 4.0
+
+#: Hard cap on the fraction of rows that may be moved into the outlier buffer.
+#: Buffering more than this means the correlation simply is not tight enough
+#: for a functional mapping and the caller should fall back to a conditional
+#: CDF instead.
+DEFAULT_MAX_OUTLIER_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class OutlierBoundedMapping:
+    """A functional mapping whose error bounds exclude buffered outliers.
+
+    Parameters
+    ----------
+    model:
+        The bounded linear regression fitted on the inlier rows only.
+    outlier_mapped:
+        Mapped-dimension (Y) values of the buffered outliers, sorted ascending.
+    outlier_target:
+        Target-dimension (X) values of the buffered outliers, aligned with
+        ``outlier_mapped``.
+    """
+
+    model: BoundedLinearModel
+    outlier_mapped: np.ndarray
+    outlier_target: np.ndarray
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        mapped_values: np.ndarray,
+        target_values: np.ndarray,
+        residual_sigmas: float = DEFAULT_RESIDUAL_SIGMAS,
+        max_outlier_fraction: float = DEFAULT_MAX_OUTLIER_FRACTION,
+    ) -> "OutlierBoundedMapping":
+        """Fit the mapping, moving extreme residuals into the outlier buffer.
+
+        A preliminary regression over all rows defines the residuals; rows
+        whose absolute residual exceeds ``residual_sigmas`` robust standard
+        deviations (estimated from the median absolute deviation) are
+        buffered, capped at ``max_outlier_fraction`` of the rows (the most
+        extreme residuals win).  The final regression and its error bounds are
+        computed over the remaining inliers.
+        """
+        if not 0.0 <= max_outlier_fraction < 1.0:
+            raise IndexBuildError(
+                f"max_outlier_fraction must be in [0, 1), got {max_outlier_fraction}"
+            )
+        y = np.asarray(mapped_values, dtype=np.float64)
+        x = np.asarray(target_values, dtype=np.float64)
+        if y.shape != x.shape:
+            raise IndexBuildError("mapped and target value arrays differ in length")
+        if y.size == 0:
+            raise IndexBuildError("cannot fit a functional mapping on no data")
+
+        preliminary = BoundedLinearModel.fit(y, x)
+        residuals = x - (preliminary.slope * y + preliminary.intercept)
+        outlier_mask = cls._outlier_mask(
+            residuals, residual_sigmas=residual_sigmas, max_fraction=max_outlier_fraction
+        )
+
+        inlier_y, inlier_x = y[~outlier_mask], x[~outlier_mask]
+        if inlier_y.size == 0:
+            # Degenerate data (every row flagged): keep everything as inliers.
+            outlier_mask = np.zeros(y.shape, dtype=bool)
+            inlier_y, inlier_x = y, x
+        model = BoundedLinearModel.fit(inlier_y, inlier_x)
+
+        order = np.argsort(y[outlier_mask], kind="stable")
+        return cls(
+            model=model,
+            outlier_mapped=np.ascontiguousarray(y[outlier_mask][order]),
+            outlier_target=np.ascontiguousarray(x[outlier_mask][order]),
+        )
+
+    @staticmethod
+    def _outlier_mask(
+        residuals: np.ndarray, residual_sigmas: float, max_fraction: float
+    ) -> np.ndarray:
+        """Boolean mask of rows to buffer, honouring the fraction cap."""
+        if residuals.size == 0 or max_fraction == 0.0:
+            return np.zeros(residuals.shape, dtype=bool)
+        deviation = np.abs(residuals - np.median(residuals))
+        # 1.4826 rescales the median absolute deviation to a Gaussian sigma.
+        robust_sigma = 1.4826 * float(np.median(deviation))
+        if robust_sigma == 0.0:
+            # Most residuals are identical; flag anything that deviates at all.
+            mask = deviation > 0.0
+        else:
+            mask = deviation > residual_sigmas * robust_sigma
+        budget = int(np.floor(max_fraction * residuals.size))
+        if int(mask.sum()) <= budget:
+            return mask
+        if budget == 0:
+            return np.zeros(residuals.shape, dtype=bool)
+        # Keep only the ``budget`` most extreme residuals.
+        threshold = np.partition(deviation, residuals.size - budget)[residuals.size - budget]
+        return deviation >= threshold
+
+    # -- mapping interface --------------------------------------------------------
+
+    @property
+    def num_outliers(self) -> int:
+        """Number of rows held in the outlier buffer."""
+        return int(self.outlier_mapped.size)
+
+    def predict(self, y: float) -> float:
+        """Point prediction of the target value for mapped value ``y``."""
+        return self.model.predict(y)
+
+    def map_range(self, y_low: float, y_high: float) -> tuple[float, float]:
+        """Map a filter range over Y to a covering range over X.
+
+        The inlier model's range is widened only by the buffered outliers
+        whose mapped value actually falls inside ``[y_low, y_high]``, so
+        unrelated outliers never inflate the range.
+        """
+        x_low, x_high = self.model.map_range(y_low, y_high)
+        if self.num_outliers:
+            first = int(np.searchsorted(self.outlier_mapped, y_low, side="left"))
+            last = int(np.searchsorted(self.outlier_mapped, y_high, side="right"))
+            if last > first:
+                hit_targets = self.outlier_target[first:last]
+                x_low = min(x_low, float(hit_targets.min()))
+                x_high = max(x_high, float(hit_targets.max()))
+        return x_low, x_high
+
+    @property
+    def error_span(self) -> float:
+        """Width added by the inlier model's error bounds (outliers excluded)."""
+        return self.model.error_span
+
+    def relative_error(self, target_domain_width: float) -> float:
+        """Inlier error span relative to the target dimension's domain width."""
+        return self.model.relative_error(target_domain_width)
+
+    def size_bytes(self) -> int:
+        """Four floats for the regression plus two floats per buffered outlier."""
+        return self.model.size_bytes() + 16 * self.num_outliers
+
+    def describe(self) -> dict:
+        """Summary used by ablation benchmarks and index reports."""
+        return {
+            "num_outliers": self.num_outliers,
+            "inlier_error_span": self.error_span,
+            "slope": self.model.slope,
+            "intercept": self.model.intercept,
+        }

@@ -1,0 +1,98 @@
+"""Query-type clustering (§4.3.1).
+
+Queries are grouped into *types* with similar selectivity characteristics so
+that query skew can be measured per type (skews of different types would
+otherwise cancel out).  The procedure is exactly the paper's:
+
+1. Queries filtering different sets of dimensions automatically belong to
+   different types.
+2. Within a group that filters the same ``d'`` dimensions, each query is
+   embedded as the ``d'``-vector of its per-dimension filter selectivities.
+3. DBSCAN with ``eps = 0.2`` clusters the embeddings; the number of clusters
+   is determined automatically.
+
+Every query receives a type label; DBSCAN noise points are folded into the
+nearest cluster (or become singleton types when a group is all noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.query.query import Query
+from repro.query.selectivity import selectivity_vector
+from repro.query.workload import Workload
+from repro.stats.clustering import assign_noise_to_clusters, dbscan
+from repro.storage.table import Table
+
+DEFAULT_EPS = 0.2
+DEFAULT_MIN_SAMPLES = 4
+
+
+def cluster_query_types(
+    table: Table,
+    workload: Workload,
+    eps: float = DEFAULT_EPS,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+    sample_rows: int = 20_000,
+    seed: int = 17,
+) -> Workload:
+    """Return a copy of ``workload`` with every query labelled by query type.
+
+    Selectivity embeddings are computed against a row sample of ``table`` for
+    efficiency; the clustering only needs selectivities to be approximately
+    right, not exact.
+    """
+    if len(workload) == 0:
+        return Workload([], name=workload.name)
+
+    sample = table
+    if table.num_rows > sample_rows:
+        sample = table.sample_rows(sample_rows, make_rng(seed))
+
+    # Step 1: group queries by the set of dimensions they filter.
+    groups: dict[tuple[str, ...], list[tuple[int, Query]]] = {}
+    for position, query in enumerate(workload):
+        key = tuple(sorted(query.filtered_dimensions))
+        groups.setdefault(key, []).append((position, query))
+
+    labelled: list[Query | None] = [None] * len(workload)
+    next_type_id = 0
+    for key in sorted(groups):
+        members = groups[key]
+        if len(key) == 0:
+            # Queries with no filter predicates form a single trivial type.
+            for position, query in members:
+                labelled[position] = query.with_type(next_type_id)
+            next_type_id += 1
+            continue
+
+        # Step 2: embed each query as its per-dimension selectivity vector.
+        embeddings = np.zeros((len(members), len(key)))
+        for row, (_, query) in enumerate(members):
+            vector = selectivity_vector(sample, query)
+            embeddings[row] = [vector[dim] for dim in key]
+
+        # Step 3: DBSCAN with eps=0.2 determines the clusters automatically.
+        effective_min_samples = min(min_samples, max(1, len(members) // 2))
+        labels = dbscan(embeddings, eps=eps, min_samples=effective_min_samples)
+        labels = assign_noise_to_clusters(embeddings, labels)
+
+        remapped: dict[int, int] = {}
+        for (position, query), label in zip(members, labels):
+            if int(label) not in remapped:
+                remapped[int(label)] = next_type_id
+                next_type_id += 1
+            labelled[position] = query.with_type(remapped[int(label)])
+
+    return Workload([q for q in labelled if q is not None], name=workload.name)
+
+
+def queries_by_type(workload: Workload) -> dict[int, list[Query]]:
+    """Group labelled queries by type id (unlabelled queries get type ``-1``)."""
+    groups: dict[int, list[Query]] = {}
+    for query in workload:
+        type_id = query.query_type if query.query_type is not None else -1
+        groups.setdefault(type_id, []).append(query)
+    return groups

@@ -1,0 +1,216 @@
+"""Augmented Grid skeletons: per-dimension partitioning strategies (§5.2).
+
+An Augmented Grid is defined by a *skeleton* — the assignment of one
+partitioning strategy to every dimension — plus the number of partitions in
+each grid dimension.  Three strategies exist:
+
+* :class:`IndependentCDFStrategy` — partition the dimension uniformly in its
+  own CDF (what Flood does for every dimension).
+* :class:`FunctionalMappingStrategy` — remove the dimension from the grid and
+  rewrite its filters as filters over a *target* dimension via a bounded
+  linear mapping (§5.2.1).
+* :class:`ConditionalCDFStrategy` — partition the dimension uniformly in its
+  CDF conditioned on a *base* dimension's partition (§5.2.2).
+
+The paper restricts which combinations are legal: a mapping's target cannot
+itself be mapped, and a conditional's base cannot be mapped or dependent.  We
+enforce the slightly stronger (and simpler) rule that targets and bases must
+be independently partitioned, which is consistent with every example skeleton
+in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.common.errors import OptimizationError
+
+
+@dataclass(frozen=True)
+class IndependentCDFStrategy:
+    """Partition the dimension uniformly in ``CDF(X)``."""
+
+    def describe(self, dimension: str) -> str:
+        return dimension
+
+    @property
+    def references(self) -> str | None:
+        """The other dimension this strategy depends on (none)."""
+        return None
+
+
+@dataclass(frozen=True)
+class FunctionalMappingStrategy:
+    """Remove the dimension from the grid; map its filters onto ``target``."""
+
+    target: str
+
+    def describe(self, dimension: str) -> str:
+        return f"{dimension}->{self.target}"
+
+    @property
+    def references(self) -> str | None:
+        return self.target
+
+
+@dataclass(frozen=True)
+class ConditionalCDFStrategy:
+    """Partition the dimension uniformly in ``CDF(X | base)``."""
+
+    base: str
+
+    def describe(self, dimension: str) -> str:
+        return f"{dimension}|{self.base}"
+
+    @property
+    def references(self) -> str | None:
+        return self.base
+
+
+Strategy = IndependentCDFStrategy | FunctionalMappingStrategy | ConditionalCDFStrategy
+
+
+class Skeleton:
+    """An assignment of a partitioning strategy to every dimension."""
+
+    def __init__(self, strategies: Mapping[str, Strategy]) -> None:
+        self._strategies = dict(strategies)
+        self._validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate(self) -> None:
+        for dimension, strategy in self._strategies.items():
+            reference = strategy.references
+            if reference is None:
+                continue
+            if reference == dimension:
+                raise OptimizationError(
+                    f"dimension {dimension!r} cannot reference itself in strategy "
+                    f"{strategy.describe(dimension)}"
+                )
+            if reference not in self._strategies:
+                raise OptimizationError(
+                    f"strategy {strategy.describe(dimension)} references unknown "
+                    f"dimension {reference!r}"
+                )
+            referenced = self._strategies[reference]
+            if not isinstance(referenced, IndependentCDFStrategy):
+                raise OptimizationError(
+                    f"strategy {strategy.describe(dimension)} requires {reference!r} "
+                    f"to be independently partitioned, but it uses "
+                    f"{referenced.describe(reference)}"
+                )
+
+    # -- protocol ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Skeleton):
+            return NotImplemented
+        return self._strategies == other._strategies
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((d, repr(s)) for d, s in self._strategies.items())))
+
+    def __repr__(self) -> str:
+        return f"Skeleton[{self.describe()}]"
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> list[str]:
+        """All dimensions covered by the skeleton."""
+        return list(self._strategies)
+
+    def strategy_for(self, dimension: str) -> Strategy:
+        """The strategy assigned to ``dimension``."""
+        try:
+            return self._strategies[dimension]
+        except KeyError:
+            raise OptimizationError(
+                f"skeleton has no strategy for dimension {dimension!r}"
+            ) from None
+
+    @property
+    def grid_dimensions(self) -> list[str]:
+        """Dimensions that appear in the grid (everything except mapped dims)."""
+        return [
+            dim
+            for dim, strategy in self._strategies.items()
+            if not isinstance(strategy, FunctionalMappingStrategy)
+        ]
+
+    @property
+    def mapped_dimensions(self) -> list[str]:
+        """Dimensions removed from the grid via a functional mapping."""
+        return [
+            dim
+            for dim, strategy in self._strategies.items()
+            if isinstance(strategy, FunctionalMappingStrategy)
+        ]
+
+    @property
+    def conditional_dimensions(self) -> list[str]:
+        """Dimensions partitioned by a conditional CDF."""
+        return [
+            dim
+            for dim, strategy in self._strategies.items()
+            if isinstance(strategy, ConditionalCDFStrategy)
+        ]
+
+    @property
+    def num_functional_mappings(self) -> int:
+        """Number of functional mappings in the skeleton (Table 4 statistic)."""
+        return len(self.mapped_dimensions)
+
+    @property
+    def num_conditional_cdfs(self) -> int:
+        """Number of conditional CDFs in the skeleton (Table 4 statistic)."""
+        return len(self.conditional_dimensions)
+
+    def describe(self) -> str:
+        """Compact skeleton notation matching Table 2, e.g. ``[X, Y|X, Z->X]``."""
+        parts = [
+            self._strategies[dim].describe(dim) for dim in self._strategies
+        ]
+        return ", ".join(parts)
+
+    def replace(self, dimension: str, strategy: Strategy) -> "Skeleton":
+        """Return a new skeleton with ``dimension``'s strategy replaced."""
+        updated = dict(self._strategies)
+        updated[dimension] = strategy
+        return Skeleton(updated)
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def all_independent(cls, dimensions: Sequence[str]) -> "Skeleton":
+        """The naive skeleton that partitions every dimension independently."""
+        return cls({dim: IndependentCDFStrategy() for dim in dimensions})
+
+    # -- neighbourhood for local search (§5.3.2 step 3) ---------------------------------
+
+    def candidate_strategies(self, dimension: str) -> list[Strategy]:
+        """All valid strategies for ``dimension`` holding the other dimensions fixed."""
+        others = [d for d in self._strategies if d != dimension]
+        candidates: list[Strategy] = [IndependentCDFStrategy()]
+        for other in others:
+            if isinstance(self._strategies[other], IndependentCDFStrategy):
+                candidates.append(FunctionalMappingStrategy(target=other))
+                candidates.append(ConditionalCDFStrategy(base=other))
+        return candidates
+
+    def one_hop_neighbours(self) -> Iterator["Skeleton"]:
+        """Yield every valid skeleton that differs in exactly one dimension."""
+        for dimension in self._strategies:
+            current = self._strategies[dimension]
+            for candidate in self.candidate_strategies(dimension):
+                if candidate == current:
+                    continue
+                try:
+                    yield self.replace(dimension, candidate)
+                except OptimizationError:
+                    # Replacing this dimension's strategy invalidated a
+                    # reference from another dimension; skip that neighbour.
+                    continue

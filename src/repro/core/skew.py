@@ -1,0 +1,239 @@
+"""Query skew, the skew tree, and split-value selection (§4.2–§4.3.2).
+
+Skew of a query set over a range in one dimension is the Earth Mover's
+Distance between the empirical PDF of query mass over histogram bins and the
+uniform distribution over the same bins.  Query mass is *not* normalized
+across types: skew is computed per query type and summed (§4.3.1), and the
+split-acceptance threshold is expressed as a fraction of ``|Q|``, so skew here
+is measured in units of query mass (bin distances are normalized by the number
+of bins in the range).
+
+The :class:`SkewTree` is the balanced binary tree used only at optimization
+time to find the set of split values that minimizes combined skew (Fig. 4),
+via the two-pass dynamic program described in §4.3.2, followed by the merge
+pass that removes superfluous splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.histogram import EquiWidthHistogram, query_histogram
+
+
+def mass_emd(mass: np.ndarray) -> float:
+    """EMD between a mass vector and the uniform vector with the same total.
+
+    Bin distance is normalized by the number of bins, so the result is in
+    units of query mass (at most the total mass), which keeps the paper's
+    "5% of |Q|" acceptance threshold meaningful.
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    if mass.size <= 1:
+        return 0.0
+    uniform = np.full(mass.shape, mass.sum() / mass.size)
+    return float(np.abs(np.cumsum(mass - uniform)).sum() / mass.size)
+
+
+def range_skew(type_histograms: list[np.ndarray], first: int, last: int) -> float:
+    """Combined skew of all query types over the bin range ``[first, last)``.
+
+    ``type_histograms`` holds one mass vector per query type over a shared set
+    of bins (§4.3.1: skew is computed independently per type and summed).
+    """
+    if last - first <= 1:
+        return 0.0
+    return sum(mass_emd(hist[first:last]) for hist in type_histograms)
+
+
+@dataclass
+class SkewTreeNode:
+    """One node of the skew tree, covering histogram bins ``[first, last)``."""
+
+    first: int
+    last: int
+    skew: float
+    left: "SkewTreeNode | None" = None
+    right: "SkewTreeNode | None" = None
+    best_subtree_skew: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """Result of evaluating one dimension as a Grid Tree split candidate."""
+
+    dimension: str
+    split_values: tuple[float, ...]
+    total_skew: float
+    residual_skew: float
+
+    @property
+    def skew_reduction(self) -> float:
+        """``R_i``: how much combined skew the split removes (§4.3.2)."""
+        return self.total_skew - self.residual_skew
+
+
+class SkewTree:
+    """Balanced binary tree over histogram bins used to choose split values."""
+
+    def __init__(
+        self,
+        type_histograms: list[np.ndarray],
+        edges: np.ndarray,
+        min_leaf_bins: int = 2,
+        merge_tolerance: float = 0.10,
+    ) -> None:
+        if not type_histograms:
+            raise ValueError("at least one query-type histogram is required")
+        lengths = {len(hist) for hist in type_histograms}
+        if len(lengths) != 1:
+            raise ValueError("all query-type histograms must share the same bins")
+        self._histograms = [np.asarray(hist, dtype=np.float64) for hist in type_histograms]
+        self._edges = np.asarray(edges, dtype=np.float64)
+        self._num_bins = lengths.pop()
+        if len(self._edges) != self._num_bins + 1:
+            raise ValueError("edges must have one more entry than each histogram")
+        self._min_leaf_bins = max(1, min_leaf_bins)
+        self._merge_tolerance = merge_tolerance
+        self.root = self._build(0, self._num_bins)
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self, first: int, last: int) -> SkewTreeNode:
+        node = SkewTreeNode(
+            first=first, last=last, skew=range_skew(self._histograms, first, last)
+        )
+        if last - first <= self._min_leaf_bins:
+            node.best_subtree_skew = node.skew
+            return node
+        middle = (first + last) // 2
+        node.left = self._build(first, middle)
+        node.right = self._build(middle, last)
+        # First (bottom-up) pass of the DP: the best achievable combined skew
+        # over this node's subtree is either keeping the node whole or taking
+        # the best covers of its two halves.
+        node.best_subtree_skew = min(
+            node.skew, node.left.best_subtree_skew + node.right.best_subtree_skew
+        )
+        return node
+
+    # -- covering set ---------------------------------------------------------------
+
+    def _collect_cover(self, node: SkewTreeNode, out: list[SkewTreeNode]) -> None:
+        # Second (top-down) pass: a node is in the optimal covering set when
+        # keeping it whole achieves its subtree's best skew.
+        if node.is_leaf or node.skew <= node.best_subtree_skew + 1e-12:
+            out.append(node)
+            return
+        self._collect_cover(node.left, out)
+        self._collect_cover(node.right, out)
+
+    def optimal_cover(self) -> list[SkewTreeNode]:
+        """The covering set with minimum combined skew, in bin order."""
+        cover: list[SkewTreeNode] = []
+        self._collect_cover(self.root, cover)
+        return cover
+
+    def _merge_cover(self, cover: list[SkewTreeNode]) -> list[tuple[int, int, float]]:
+        """Greedy ordered merge pass over the covering set (§4.3.2, final step)."""
+        merged: list[tuple[int, int, float]] = []
+        for node in cover:
+            if not merged:
+                merged.append((node.first, node.last, node.skew))
+                continue
+            first, last, skew = merged[-1]
+            combined_skew = range_skew(self._histograms, first, node.last)
+            if combined_skew <= (skew + node.skew) * (1.0 + self._merge_tolerance):
+                merged[-1] = (first, node.last, combined_skew)
+            else:
+                merged.append((node.first, node.last, node.skew))
+        return merged
+
+    def best_split(self) -> tuple[list[float], float]:
+        """Return ``(split values, residual skew)`` for this dimension.
+
+        Split values are the value-domain boundaries between the merged
+        covering-set ranges; residual skew is the combined skew that remains
+        after splitting at those values.
+        """
+        cover = self.optimal_cover()
+        merged = self._merge_cover(cover)
+        residual = sum(skew for _, _, skew in merged)
+        split_values = [float(self._edges[first]) for first, _, _ in merged[1:]]
+        return split_values, residual
+
+    @property
+    def total_skew(self) -> float:
+        """Combined skew of the whole range before any split."""
+        return self.root.skew
+
+
+def build_type_histograms(
+    per_type_intervals: dict[int, list[tuple[float, float]]],
+    low: float,
+    high: float,
+    num_bins: int = 128,
+    unique_values: np.ndarray | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Build one query-mass histogram per query type over a shared set of bins.
+
+    If the dimension has fewer than ``num_bins`` distinct values inside the
+    range, one bin per distinct value is used (§4.3.2), in which case there is
+    no skew within a bin by construction.
+    """
+    edges: np.ndarray | None = None
+    if unique_values is not None:
+        inside = np.asarray(unique_values, dtype=np.float64)
+        inside = inside[(inside >= low) & (inside < high)]
+        if 0 < inside.size <= num_bins:
+            edges = np.append(np.sort(inside), high)
+    histograms = []
+    for intervals in per_type_intervals.values():
+        histogram = query_histogram(intervals, low, high, num_bins=num_bins, edges=edges)
+        if edges is None:
+            edges = histogram.edges
+        histograms.append(histogram.counts)
+    if edges is None:
+        edges = np.linspace(low, high, num_bins + 1)
+    return histograms, edges
+
+
+def evaluate_split_dimension(
+    dimension: str,
+    per_type_intervals: dict[int, list[tuple[float, float]]],
+    low: float,
+    high: float,
+    num_bins: int = 128,
+    unique_values: np.ndarray | None = None,
+    merge_tolerance: float = 0.10,
+) -> SplitCandidate:
+    """Evaluate one dimension as a Grid Tree split candidate (§4.3.2).
+
+    Builds per-type query histograms over the node's extent in the dimension,
+    constructs the skew tree, extracts the best split values, and reports both
+    the dimension's total skew and the residual skew after splitting.
+    """
+    if high <= low:
+        return SplitCandidate(dimension, (), 0.0, 0.0)
+    histograms, edges = build_type_histograms(
+        per_type_intervals, low, high, num_bins=num_bins, unique_values=unique_values
+    )
+    if not histograms or all(hist.sum() == 0 for hist in histograms):
+        return SplitCandidate(dimension, (), 0.0, 0.0)
+    min_leaf_bins = 1 if (len(edges) - 1) < num_bins else 2
+    tree = SkewTree(
+        histograms, edges, min_leaf_bins=min_leaf_bins, merge_tolerance=merge_tolerance
+    )
+    split_values, residual = tree.best_split()
+    return SplitCandidate(
+        dimension=dimension,
+        split_values=tuple(split_values),
+        total_skew=tree.total_skew,
+        residual_skew=residual,
+    )

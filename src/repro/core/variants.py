@@ -1,0 +1,34 @@
+"""Ablation variants of Tsunami used in the Fig. 12a drill-down (§6.6).
+
+* :class:`AugmentedGridOnlyIndex` — one Augmented Grid over the entire data
+  space, no Grid Tree.  Shows how much correlation-awareness alone helps.
+* :class:`GridTreeOnlyIndex` — the Grid Tree with a Flood-style independent
+  grid (no functional mappings or conditional CDFs) inside every region.
+  Shows how much skew reduction alone helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+
+
+class AugmentedGridOnlyIndex(TsunamiIndex):
+    """Tsunami without the Grid Tree: a single Augmented Grid over all data."""
+
+    name = "augmented-grid-only"
+
+    def __init__(self, config: TsunamiConfig | None = None) -> None:
+        base = config or TsunamiConfig()
+        super().__init__(replace(base, use_grid_tree=False, use_augmented_strategies=True))
+
+
+class GridTreeOnlyIndex(TsunamiIndex):
+    """Tsunami without correlation-aware grids: Flood inside each Grid Tree region."""
+
+    name = "grid-tree-only"
+
+    def __init__(self, config: TsunamiConfig | None = None) -> None:
+        base = config or TsunamiConfig()
+        super().__init__(replace(base, use_grid_tree=True, use_augmented_strategies=False))

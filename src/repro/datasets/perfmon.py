@@ -1,0 +1,97 @@
+"""Performance-monitoring stand-in and its query workload (§6.2).
+
+The paper's Perfmon dataset contains a year of logs from all machines managed
+by a university: log time, machine name, CPU usages, and load averages, scaled
+to 236M rows.  Queries skew towards recent log times and towards high CPU
+usage ("when in the last month did a certain set of machines experience high
+load?").  The load averages over different windows are strongly correlated
+with each other, and CPU system time is correlated with CPU user time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.datasets.workload_gen import QueryTemplate, RangeSpec
+from repro.storage.table import Table
+
+#: One year of seconds, the log-time domain.
+_TIME_DOMAIN = 365 * 24 * 3600
+_NUM_MACHINES = 1200
+
+
+def make_perfmon_dataset(num_rows: int = 200_000, seed: SeedLike = 0) -> Table:
+    """Generate a machine-log-like table with ``num_rows`` rows (7 dimensions)."""
+    rng = make_rng(seed)
+    log_time = rng.integers(0, _TIME_DOMAIN, num_rows)
+    machine = rng.integers(0, _NUM_MACHINES, num_rows)
+    # CPU usage percentages in tenths of a percent; most machines are mostly idle.
+    cpu_user = np.clip(rng.gamma(2.0, 80.0, num_rows), 0, 1000).astype(np.int64)
+    cpu_system = np.clip(
+        cpu_user * 0.35 + rng.normal(0, 30, num_rows), 0, 1000
+    ).astype(np.int64)
+    # Load averages (hundredths); the 5-minute load tracks the 1-minute load.
+    load_1m = np.clip(rng.gamma(1.5, 60.0, num_rows), 0, 3200).astype(np.int64)
+    load_5m = np.clip(load_1m * 0.9 + rng.normal(0, 25, num_rows), 0, 3200).astype(np.int64)
+    memory = np.clip(rng.normal(550, 180, num_rows), 0, 1000).astype(np.int64)
+    return Table.from_arrays(
+        "perfmon",
+        {
+            "log_time": log_time,
+            "machine": machine,
+            "cpu_user": cpu_user,
+            "cpu_system": cpu_system,
+            "load_1m": load_1m,
+            "load_5m": load_5m,
+            "memory": memory,
+        },
+    )
+
+
+def perfmon_templates(queries_per_type: int = 100) -> list[QueryTemplate]:
+    """The default five query types over the perfmon stand-in."""
+    return [
+        QueryTemplate(
+            "recent_high_load_machines",
+            {
+                "log_time": RangeSpec(0.08, centre_region=(0.9, 1.0)),
+                "machine": RangeSpec(0.10, centre_region=(0.0, 1.0)),
+                "load_1m": RangeSpec(0.15, centre_region=(0.9, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_cpu_saturation",
+            {
+                "log_time": RangeSpec(0.10, centre_region=(0.85, 1.0)),
+                "cpu_user": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "memory_pressure_audit",
+            {
+                "memory": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+                "load_5m": RangeSpec(0.20, centre_region=(0.75, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "fleet_health_weekly",
+            {
+                "log_time": RangeSpec(0.02, centre_region=(0.5, 1.0)),
+                "cpu_system": RangeSpec(0.30, centre_region=(0.0, 0.5)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "idle_machines_history",
+            {
+                "cpu_user": RangeSpec(0.20, centre_region=(0.0, 0.15)),
+                "load_1m": RangeSpec(0.20, centre_region=(0.0, 0.15)),
+                "machine": RangeSpec(0.15, centre_region=(0.0, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+    ]

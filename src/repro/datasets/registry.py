@@ -1,0 +1,90 @@
+"""Registry of the four evaluation datasets and their default workloads.
+
+``load_dataset("taxi", num_rows=100_000)`` returns a ``(table, workload)``
+pair ready to be handed to any index's ``build`` method, which is how the
+examples and benchmarks obtain their inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.rng import SeedLike
+from repro.datasets.perfmon import make_perfmon_dataset, perfmon_templates
+from repro.datasets.stocks import make_stocks_dataset, stocks_templates
+from repro.datasets.taxi import make_taxi_dataset, taxi_templates
+from repro.datasets.tpch import make_tpch_dataset, tpch_templates
+from repro.datasets.workload_gen import QueryTemplate, generate_workload
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset generator paired with its default workload templates."""
+
+    name: str
+    make_table: Callable[..., Table]
+    make_templates: Callable[..., Sequence[QueryTemplate]]
+    paper_rows: int
+    paper_query_types: int
+    paper_dimensions: int
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "tpch": DatasetSpec(
+        name="tpch",
+        make_table=make_tpch_dataset,
+        make_templates=tpch_templates,
+        paper_rows=300_000_000,
+        paper_query_types=5,
+        paper_dimensions=8,
+    ),
+    "taxi": DatasetSpec(
+        name="taxi",
+        make_table=make_taxi_dataset,
+        make_templates=taxi_templates,
+        paper_rows=184_000_000,
+        paper_query_types=6,
+        paper_dimensions=9,
+    ),
+    "perfmon": DatasetSpec(
+        name="perfmon",
+        make_table=make_perfmon_dataset,
+        make_templates=perfmon_templates,
+        paper_rows=236_000_000,
+        paper_query_types=5,
+        paper_dimensions=7,
+    ),
+    "stocks": DatasetSpec(
+        name="stocks",
+        make_table=make_stocks_dataset,
+        make_templates=stocks_templates,
+        paper_rows=210_000_000,
+        paper_query_types=5,
+        paper_dimensions=7,
+    ),
+}
+
+
+def load_dataset(
+    name: str,
+    num_rows: int = 100_000,
+    queries_per_type: int = 100,
+    seed: SeedLike = 0,
+    workload_seed: SeedLike = 1,
+) -> tuple[Table, Workload]:
+    """Generate one of the four evaluation datasets together with its workload."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    table = spec.make_table(num_rows=num_rows, seed=seed)
+    templates = spec.make_templates(queries_per_type=queries_per_type)
+    workload = generate_workload(
+        table, templates, seed=workload_seed, name=f"{name}_workload"
+    )
+    return table, workload

@@ -1,0 +1,99 @@
+"""Daily stock-price stand-in and its query workload (§6.2).
+
+The paper's Stocks dataset has daily prices (open, close, adjusted close, low,
+high), trading volume, and the date for ~6000 stocks from 1970 to 2018, scaled
+to 210M rows.  The four intra-day price columns are tightly monotonically
+correlated with each other (exactly the kind of correlation a functional
+mapping captures), and queries skew towards recent dates and towards very low
+or very high volume.  Query selectivity in the paper is tightly concentrated
+around 0.5%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.datasets.workload_gen import QueryTemplate, RangeSpec
+from repro.storage.table import Table
+
+#: Number of distinct trading days (1970–2018).
+_NUM_DAYS = 12_300
+
+
+def make_stocks_dataset(num_rows: int = 200_000, seed: SeedLike = 0) -> Table:
+    """Generate a daily-price-like table with ``num_rows`` rows (7 dimensions)."""
+    rng = make_rng(seed)
+    date = rng.integers(0, _NUM_DAYS, num_rows)
+    # Open price in cents, log-normal across stocks and days.
+    open_price = np.clip(rng.lognormal(3.3, 0.9, num_rows) * 100, 50, 500_000).astype(np.int64)
+    daily_move = rng.normal(0.0, 0.02, num_rows)
+    close_price = np.clip(open_price * (1.0 + daily_move), 50, None).astype(np.int64)
+    low_price = np.minimum(open_price, close_price) - (
+        np.abs(rng.normal(0.0, 0.01, num_rows)) * open_price
+    ).astype(np.int64)
+    high_price = np.maximum(open_price, close_price) + (
+        np.abs(rng.normal(0.0, 0.01, num_rows)) * open_price
+    ).astype(np.int64)
+    adj_close = np.clip(close_price * rng.uniform(0.85, 1.0, num_rows), 10, None).astype(np.int64)
+    volume = np.clip(rng.lognormal(11.0, 1.6, num_rows), 100, None).astype(np.int64)
+    return Table.from_arrays(
+        "stocks",
+        {
+            "date": date,
+            "open": open_price,
+            "close": close_price,
+            "low": low_price,
+            "high": high_price,
+            "adj_close": adj_close,
+            "volume": volume,
+        },
+    )
+
+
+def stocks_templates(queries_per_type: int = 100) -> list[QueryTemplate]:
+    """The default five query types over the stocks stand-in."""
+    return [
+        QueryTemplate(
+            "low_intraday_change_high_volume",
+            {
+                "low": RangeSpec(0.10, centre_region=(0.3, 0.8)),
+                "high": RangeSpec(0.10, centre_region=(0.3, 0.8)),
+                "volume": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_year_price_band",
+            {
+                "date": RangeSpec(0.05, centre_region=(0.85, 1.0)),
+                "close": RangeSpec(0.12, centre_region=(0.2, 0.9)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "penny_stock_screens",
+            {
+                "open": RangeSpec(0.08, centre_region=(0.0, 0.1)),
+                "volume": RangeSpec(0.12, centre_region=(0.0, 0.1)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_high_volume_moves",
+            {
+                "date": RangeSpec(0.06, centre_region=(0.9, 1.0)),
+                "volume": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+                "adj_close": RangeSpec(0.20, centre_region=(0.3, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "decade_span_closing_range",
+            {
+                "date": RangeSpec(0.20, centre_region=(0.5, 0.9)),
+                "close": RangeSpec(0.05, centre_region=(0.4, 0.7)),
+            },
+            count=queries_per_type,
+        ),
+    ]

@@ -1,0 +1,131 @@
+"""Synthetic datasets and workloads for the scalability experiments (§6.5).
+
+Two dataset families are used by Fig. 10 and Fig. 11b:
+
+* *Uncorrelated*: every dimension is sampled i.i.d. uniform.
+* *Correlated*: half of the dimensions are uniform; each dimension in the
+  other half is linearly correlated with one of the uniform dimensions, either
+  strongly (±1% error) or loosely (±10% error), alternating.
+
+The accompanying workload has four query types.  Earlier dimensions are
+filtered with exponentially higher selectivity (i.e. more restrictive filters)
+than later dimensions, and queries are skewed over the first four dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.datasets.workload_gen import QueryTemplate, RangeSpec, generate_workload
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+#: Domain of every synthetic dimension.
+_DOMAIN = 1_000_000
+
+
+def _dimension_names(num_dimensions: int) -> list[str]:
+    return [f"d{i}" for i in range(num_dimensions)]
+
+
+def make_uniform_dataset(
+    num_rows: int = 100_000, num_dimensions: int = 8, seed: SeedLike = 0
+) -> Table:
+    """A dataset whose dimensions are all i.i.d. uniform (no correlation)."""
+    rng = make_rng(seed)
+    columns = {
+        name: rng.integers(0, _DOMAIN, num_rows)
+        for name in _dimension_names(num_dimensions)
+    }
+    return Table.from_arrays(f"uniform_{num_dimensions}d", columns)
+
+
+def make_correlated_dataset(
+    num_rows: int = 100_000,
+    num_dimensions: int = 8,
+    strong_error: float = 0.01,
+    loose_error: float = 0.10,
+    seed: SeedLike = 0,
+) -> Table:
+    """A dataset where half of the dimensions are linearly correlated to the other half.
+
+    Dimension ``d{i + d/2}`` is a noisy linear function of dimension ``d{i}``:
+    the noise amplitude alternates between ``strong_error`` (±1% of the
+    domain by default) and ``loose_error`` (±10%).
+    """
+    if num_dimensions < 2:
+        raise ValueError("a correlated dataset needs at least two dimensions")
+    rng = make_rng(seed)
+    names = _dimension_names(num_dimensions)
+    half = num_dimensions // 2
+    columns: dict[str, np.ndarray] = {}
+    for i in range(half):
+        columns[names[i]] = rng.integers(0, _DOMAIN, num_rows)
+    for i in range(half, num_dimensions):
+        base = columns[names[i - half]]
+        error = strong_error if (i - half) % 2 == 0 else loose_error
+        noise = rng.integers(
+            -int(error * _DOMAIN), int(error * _DOMAIN) + 1, num_rows
+        )
+        columns[names[i]] = np.clip(base + noise, 0, 2 * _DOMAIN)
+    return Table.from_arrays(f"correlated_{num_dimensions}d", columns)
+
+
+def synthetic_templates(
+    num_dimensions: int,
+    num_query_types: int = 4,
+    queries_per_type: int = 100,
+    base_selectivity: float = 0.05,
+    selectivity_growth: float = 2.0,
+    num_filtered_dimensions: int | None = None,
+    skewed_dimensions: int = 4,
+) -> list[QueryTemplate]:
+    """Query templates for the synthetic datasets (§6.5).
+
+    Dimension ``d{j}`` receives a per-dimension selectivity of
+    ``base_selectivity * selectivity_growth ** j`` (capped at 1.0), so earlier
+    dimensions carry exponentially more selective filters.  The first
+    ``skewed_dimensions`` dimensions have their filter centres restricted to a
+    per-type region of the quantile space, which is what makes the workload
+    skewed.
+    """
+    names = _dimension_names(num_dimensions)
+    filtered = num_filtered_dimensions or min(4, num_dimensions)
+    templates = []
+    for type_id in range(num_query_types):
+        # Each type concentrates on a different slice of the skewed dimensions.
+        region_width = 0.25
+        region_start = (type_id / max(num_query_types, 1)) * (1.0 - region_width)
+        # Later types look at more recent parts of the space, mimicking the
+        # real workloads' recency skew.
+        region = (min(0.95, region_start + 0.5), 1.0) if type_id % 2 else (
+            region_start,
+            region_start + region_width,
+        )
+        filters: dict[str, RangeSpec] = {}
+        for j in range(filtered):
+            selectivity = min(1.0, base_selectivity * selectivity_growth**j)
+            centre = region if j < skewed_dimensions else (0.0, 1.0)
+            filters[names[j]] = RangeSpec(selectivity, centre_region=centre)
+        templates.append(
+            QueryTemplate(f"type_{type_id}", filters, count=queries_per_type)
+        )
+    return templates
+
+
+def synthetic_scaling_workload(
+    table: Table,
+    num_query_types: int = 4,
+    queries_per_type: int = 100,
+    base_selectivity: float = 0.05,
+    seed: SeedLike = 0,
+) -> Workload:
+    """The four-type skewed workload used by the dimensionality/selectivity sweeps."""
+    templates = synthetic_templates(
+        num_dimensions=table.num_dimensions,
+        num_query_types=num_query_types,
+        queries_per_type=queries_per_type,
+        base_selectivity=base_selectivity,
+    )
+    return generate_workload(table, templates, seed=seed, name=f"{table.name}_workload")

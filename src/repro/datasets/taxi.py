@@ -1,0 +1,118 @@
+"""NYC yellow-taxi stand-in and its query workload (§6.2).
+
+The paper's Taxi dataset (184M records of 2018–2019 trips) has pick-up and
+drop-off times, locations, trip distance, itemized fares, and passenger
+counts.  The documented correlations the index exploits are between pick-up
+and drop-off time (drop-off = pick-up + duration) and between trip distance
+and fare.  Queries display skew over time (recent data queried more), over
+passenger count (distinct query types about very low and very high counts),
+and over trip distance (short trips queried more).  Query selectivities range
+from 0.25% to 3.9% per query; our template selectivities are per-dimension and
+combine multiplicatively to land in a comparable range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.datasets.workload_gen import EqualitySpec, QueryTemplate, RangeSpec
+from repro.storage.table import Table
+
+#: Two years of seconds (2018–2019), the pick-up time domain.
+_TIME_DOMAIN = 2 * 365 * 24 * 3600
+_NUM_ZONES = 265
+
+
+def make_taxi_dataset(num_rows: int = 200_000, seed: SeedLike = 0) -> Table:
+    """Generate a taxi-trip-like table with ``num_rows`` rows (9 dimensions)."""
+    rng = make_rng(seed)
+    pickup_time = rng.integers(0, _TIME_DOMAIN, num_rows)
+    duration = (rng.exponential(12 * 60, num_rows) + 120).astype(np.int64)
+    dropoff_time = pickup_time + duration
+    # Trip distance in units of 0.01 miles, heavy-tailed towards short trips.
+    trip_distance = (rng.exponential(250, num_rows) + 30).astype(np.int64)
+    # Fare is tightly (but not perfectly) correlated with distance: base fare
+    # plus a per-distance rate plus noise, in cents.
+    fare = (
+        250
+        + (trip_distance * 2.5).astype(np.int64)
+        + rng.integers(0, 200, num_rows)
+    )
+    tip = (fare * rng.uniform(0.0, 0.3, num_rows)).astype(np.int64)
+    total = fare + tip
+    passenger_count = rng.choice(
+        np.arange(1, 7), size=num_rows, p=[0.72, 0.14, 0.05, 0.03, 0.04, 0.02]
+    )
+    pickup_zone = rng.integers(1, _NUM_ZONES + 1, num_rows)
+    dropoff_zone = rng.integers(1, _NUM_ZONES + 1, num_rows)
+    return Table.from_arrays(
+        "taxi",
+        {
+            "pickup_time": pickup_time,
+            "dropoff_time": dropoff_time,
+            "trip_distance": trip_distance,
+            "fare": fare,
+            "tip": tip,
+            "total": total,
+            "passenger_count": passenger_count,
+            "pickup_zone": pickup_zone,
+            "dropoff_zone": dropoff_zone,
+        },
+    )
+
+
+def taxi_templates(queries_per_type: int = 100) -> list[QueryTemplate]:
+    """The default six query types over the taxi stand-in."""
+    return [
+        QueryTemplate(
+            "single_passenger_manhattan",
+            {
+                "passenger_count": EqualitySpec(centre_region=(0.0, 0.1)),
+                "pickup_zone": RangeSpec(0.15, centre_region=(0.3, 0.6)),
+                "dropoff_zone": RangeSpec(0.15, centre_region=(0.3, 0.6)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_short_trips",
+            {
+                "pickup_time": RangeSpec(0.08, centre_region=(0.85, 1.0)),
+                "trip_distance": RangeSpec(0.20, centre_region=(0.0, 0.2)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_expensive_trips",
+            {
+                "pickup_time": RangeSpec(0.10, centre_region=(0.8, 1.0)),
+                "fare": RangeSpec(0.12, centre_region=(0.85, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "large_groups_all_time",
+            {
+                "passenger_count": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+                "total": RangeSpec(0.25, centre_region=(0.5, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "monthly_dropoff_report",
+            {
+                "dropoff_time": RangeSpec(0.04, centre_region=(0.75, 1.0)),
+                "dropoff_zone": RangeSpec(0.25, centre_region=(0.0, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "generous_tippers",
+            {
+                "tip": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+                "trip_distance": RangeSpec(0.25, centre_region=(0.0, 0.5)),
+                "pickup_time": RangeSpec(0.30, centre_region=(0.6, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+    ]

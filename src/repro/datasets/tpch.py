@@ -1,0 +1,156 @@
+"""TPC-H lineitem stand-in and its query workload (§6.2).
+
+The paper uses the lineitem fact table at scale factor 50 (300M rows) with
+filters over quantity, extended price, discount, tax, ship mode, ship date,
+commit date, and receipt date.  The generator below follows the TPC-H
+specification's column rules at a configurable row count:
+
+* ``quantity`` — uniform integers 1..50.
+* ``extendedprice`` — quantity × a per-part price, so it is loosely
+  monotonically correlated with quantity.
+* ``discount`` — 0.00..0.10 in cents; ``tax`` — 0.00..0.08.
+* ``shipdate`` — uniform over a 7-year day range; ``commitdate`` and
+  ``receiptdate`` are shipdate plus small offsets, i.e. tightly correlated
+  with it (exactly the correlation the Augmented Grid exploits).
+* ``shipmode`` — seven dictionary-encoded categories.
+
+The default workload has five query types mirroring the paper's examples
+("how many high-priced orders in the past year used a significant discount?",
+"how many shipments by air had below ten items?"), with skew towards recent
+ship dates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.datasets.workload_gen import EqualitySpec, QueryTemplate, RangeSpec
+from repro.storage.table import Table
+
+#: Number of distinct days in the shipdate domain (7 years, as in TPC-H).
+_NUM_DAYS = 2557
+_SHIP_MODES = 7
+
+
+def make_tpch_dataset(num_rows: int = 200_000, seed: SeedLike = 0) -> Table:
+    """Generate a lineitem-like table with ``num_rows`` rows."""
+    rng = make_rng(seed)
+    quantity = rng.integers(1, 51, num_rows)
+    # retailprice in TPC-H is roughly 900..100000 cents depending on the part.
+    part_price = rng.integers(900, 100_001, num_rows)
+    extendedprice = quantity * part_price
+    discount = rng.integers(0, 11, num_rows)  # percent
+    tax = rng.integers(0, 9, num_rows)  # percent
+    shipdate = rng.integers(0, _NUM_DAYS, num_rows)
+    commitdate = shipdate + rng.integers(-60, 61, num_rows)
+    receiptdate = shipdate + rng.integers(1, 31, num_rows)
+    shipmode = rng.integers(0, _SHIP_MODES, num_rows)
+    return Table.from_arrays(
+        "tpch_lineitem",
+        {
+            "quantity": quantity,
+            "extendedprice": extendedprice,
+            "discount": discount,
+            "tax": tax,
+            "shipdate": shipdate,
+            "commitdate": commitdate,
+            "receiptdate": receiptdate,
+            "shipmode": shipmode,
+        },
+    )
+
+
+def tpch_templates(queries_per_type: int = 100) -> list[QueryTemplate]:
+    """The default five query types over the TPC-H stand-in."""
+    return [
+        QueryTemplate(
+            "high_price_recent_discounted",
+            {
+                "extendedprice": RangeSpec(0.20, centre_region=(0.85, 1.0)),
+                "shipdate": RangeSpec(0.15, centre_region=(0.85, 1.0)),
+                "discount": RangeSpec(0.30, centre_region=(0.7, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "air_shipments_small_orders",
+            {
+                "shipmode": EqualitySpec(centre_region=(0.0, 1.0)),
+                "quantity": RangeSpec(0.18, centre_region=(0.0, 0.2)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "recent_receipts_low_tax",
+            {
+                "receiptdate": RangeSpec(0.05, centre_region=(0.9, 1.0)),
+                "tax": RangeSpec(0.25, centre_region=(0.0, 0.25)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "committed_vs_shipped_window",
+            {
+                "commitdate": RangeSpec(0.08, centre_region=(0.3, 0.9)),
+                "quantity": RangeSpec(0.25, centre_region=(0.5, 1.0)),
+                "discount": RangeSpec(0.35, centre_region=(0.0, 0.4)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "bulk_orders_all_time",
+            {
+                "quantity": RangeSpec(0.10, centre_region=(0.9, 1.0)),
+                "extendedprice": RangeSpec(0.25, centre_region=(0.6, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+    ]
+
+
+def tpch_shifted_templates(queries_per_type: int = 100) -> list[QueryTemplate]:
+    """Five *new* query types used for the Fig. 9a workload-shift experiment."""
+    return [
+        QueryTemplate(
+            "stale_cheap_orders",
+            {
+                "shipdate": RangeSpec(0.20, centre_region=(0.0, 0.3)),
+                "extendedprice": RangeSpec(0.20, centre_region=(0.0, 0.3)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "high_tax_audit",
+            {
+                "tax": RangeSpec(0.20, centre_region=(0.8, 1.0)),
+                "commitdate": RangeSpec(0.10, centre_region=(0.0, 0.5)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "mode_deep_dive",
+            {
+                "shipmode": EqualitySpec(centre_region=(0.0, 0.5)),
+                "receiptdate": RangeSpec(0.12, centre_region=(0.2, 0.6)),
+                "discount": RangeSpec(0.30, centre_region=(0.5, 1.0)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "mid_quantity_mid_price",
+            {
+                "quantity": RangeSpec(0.20, centre_region=(0.4, 0.6)),
+                "extendedprice": RangeSpec(0.15, centre_region=(0.4, 0.6)),
+            },
+            count=queries_per_type,
+        ),
+        QueryTemplate(
+            "early_receipts",
+            {
+                "receiptdate": RangeSpec(0.06, centre_region=(0.0, 0.15)),
+                "quantity": RangeSpec(0.30, centre_region=(0.0, 0.5)),
+            },
+            count=queries_per_type,
+        ),
+    ]

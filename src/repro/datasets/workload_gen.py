@@ -1,0 +1,163 @@
+"""Template-driven workload generation.
+
+§6.2 describes every evaluation workload the same way: a handful of query
+*types* (templates), 100 queries per type, each type filtering a fixed set of
+dimensions with characteristic selectivities, and the placement of filters
+skewed over parts of the data space (recent dates, high CPU usage, very low or
+very high passenger counts, ...).
+
+A :class:`QueryTemplate` captures one type: for every filtered dimension it
+holds either a :class:`RangeSpec` (a range filter with a target per-dimension
+selectivity whose centre is drawn from a region of the column's quantile
+space) or an :class:`EqualitySpec` (an equality filter over a value drawn from
+a quantile region).  :func:`generate_workload` instantiates the templates
+against a concrete table, which keeps the workloads meaningful at any dataset
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    """A range filter with per-dimension selectivity ``selectivity``.
+
+    The filter's centre is placed at a quantile drawn uniformly from
+    ``centre_region`` (a sub-interval of ``[0, 1]`` of the column's quantile
+    space), which is how workload skew is expressed: e.g.
+    ``centre_region=(0.8, 1.0)`` concentrates queries on the most recent 20%
+    of a time column.
+    """
+
+    selectivity: float
+    centre_region: tuple[float, float] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {self.selectivity}")
+        low, high = self.centre_region
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"centre_region must be within [0, 1], got {self.centre_region}")
+
+
+@dataclass(frozen=True)
+class EqualitySpec:
+    """An equality filter over a value drawn from a quantile region of the column."""
+
+    centre_region: tuple[float, float] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        low, high = self.centre_region
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"centre_region must be within [0, 1], got {self.centre_region}")
+
+
+FilterSpec = RangeSpec | EqualitySpec
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One query type: which dimensions it filters and how."""
+
+    name: str
+    filters: Mapping[str, FilterSpec]
+    count: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.filters:
+            raise ValueError(f"template {self.name!r} must filter at least one dimension")
+        if self.count < 1:
+            raise ValueError(f"template {self.name!r} must generate at least one query")
+
+
+def _column_quantiles(table: Table, dimension: str, probabilities: np.ndarray) -> np.ndarray:
+    values = table.values(dimension)
+    return np.quantile(values, probabilities, method="lower")
+
+
+def _instantiate_range(
+    table: Table, dimension: str, spec: RangeSpec, rng: np.random.Generator
+) -> tuple[int, int]:
+    """Pick concrete bounds achieving roughly ``spec.selectivity`` over the dimension."""
+    centre_quantile = rng.uniform(*spec.centre_region)
+    half_width = spec.selectivity / 2.0
+    low_q = float(np.clip(centre_quantile - half_width, 0.0, 1.0 - spec.selectivity))
+    high_q = float(np.clip(low_q + spec.selectivity, 0.0, 1.0))
+    low, high = _column_quantiles(table, dimension, np.array([low_q, high_q]))
+    return int(low), int(max(high, low))
+
+
+def _instantiate_equality(
+    table: Table, dimension: str, spec: EqualitySpec, rng: np.random.Generator
+) -> tuple[int, int]:
+    quantile = rng.uniform(*spec.centre_region)
+    value = int(_column_quantiles(table, dimension, np.array([quantile]))[0])
+    return value, value
+
+
+def generate_workload(
+    table: Table,
+    templates: Sequence[QueryTemplate],
+    seed: SeedLike = None,
+    name: str = "workload",
+    aggregate: str = "count",
+    aggregate_column: str | None = None,
+) -> Workload:
+    """Instantiate ``templates`` against ``table`` into a typed workload."""
+    rng = make_rng(seed)
+    queries: list[Query] = []
+    for type_id, template in enumerate(templates):
+        for _ in range(template.count):
+            ranges: dict[str, tuple[int, int]] = {}
+            for dimension, spec in template.filters.items():
+                if dimension not in table:
+                    raise ValueError(
+                        f"template {template.name!r} filters unknown dimension "
+                        f"{dimension!r}"
+                    )
+                if isinstance(spec, RangeSpec):
+                    ranges[dimension] = _instantiate_range(table, dimension, spec, rng)
+                else:
+                    ranges[dimension] = _instantiate_equality(table, dimension, spec, rng)
+            queries.append(
+                Query.from_ranges(
+                    ranges,
+                    aggregate=aggregate,
+                    aggregate_column=aggregate_column,
+                    query_type=type_id,
+                )
+            )
+    return Workload(queries, name=name)
+
+
+def scale_template_selectivities(
+    templates: Sequence[QueryTemplate], factor: float
+) -> list[QueryTemplate]:
+    """Scale every range filter's per-dimension selectivity by ``factor``.
+
+    Used by the Fig. 11b selectivity sweep: filter ranges are scaled up and
+    down equally in every dimension.
+    """
+    scaled = []
+    for template in templates:
+        filters: dict[str, FilterSpec] = {}
+        for dimension, spec in template.filters.items():
+            if isinstance(spec, RangeSpec):
+                filters[dimension] = RangeSpec(
+                    selectivity=float(np.clip(spec.selectivity * factor, 1e-6, 1.0)),
+                    centre_region=spec.centre_region,
+                )
+            else:
+                filters[dimension] = spec
+        scaled.append(QueryTemplate(template.name, filters, count=template.count))
+    return scaled

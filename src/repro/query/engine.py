@@ -1,0 +1,27 @@
+"""Reference query execution without any index (full scan).
+
+Used as the ground-truth oracle in tests and as the implicit "no index"
+baseline: every index's answer to every query must equal the full-scan answer.
+"""
+
+from __future__ import annotations
+
+from repro.query.query import Query
+from repro.storage.scan import RowRange, ScanExecutor, ScanStats
+from repro.storage.table import Table
+
+
+def execute_full_scan(table: Table, query: Query) -> tuple[float, ScanStats]:
+    """Answer ``query`` by scanning the entire table.
+
+    Returns the aggregate value and the scan work counters, exactly as an
+    index-backed execution would, so results are directly comparable.
+    """
+    executor = ScanExecutor(table)
+    full_range = [RowRange(0, table.num_rows, exact=False)]
+    return executor.execute(
+        full_range,
+        query.filters(),
+        aggregate=query.aggregate,
+        aggregate_column=query.aggregate_column,
+    )

@@ -1,0 +1,83 @@
+"""Filter predicates over single dimensions.
+
+A query's WHERE clause is a conjunction of per-dimension predicates.  Two
+kinds appear in the paper's workloads: inclusive range predicates
+(``a <= X <= b``) and equality predicates (``X = v``), the latter being a
+degenerate range.  Predicates operate on the storage domain (64-bit integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for a single-dimension filter predicate."""
+
+    dimension: str
+
+    @property
+    def low(self) -> int:
+        """Inclusive lower bound in storage units."""
+        raise NotImplementedError
+
+    @property
+    def high(self) -> int:
+        """Inclusive upper bound in storage units."""
+        raise NotImplementedError
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """``(low, high)`` inclusive bounds."""
+        return (self.low, self.high)
+
+    def matches(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized membership test against stored values."""
+        return (values >= self.low) & (values <= self.high)
+
+    def width(self) -> int:
+        """Number of integer values covered by the predicate."""
+        return self.high - self.low + 1
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """Inclusive range filter ``low <= dimension <= high``."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise QueryError(
+                f"range predicate on {self.dimension!r} has lower {self.lower} "
+                f"> upper {self.upper}"
+            )
+
+    @property
+    def low(self) -> int:
+        return int(self.lower)
+
+    @property
+    def high(self) -> int:
+        return int(self.upper)
+
+
+@dataclass(frozen=True)
+class EqualityPredicate(Predicate):
+    """Equality filter ``dimension == value`` (a width-one range)."""
+
+    value: int
+
+    @property
+    def low(self) -> int:
+        return int(self.value)
+
+    @property
+    def high(self) -> int:
+        return int(self.value)

@@ -1,0 +1,75 @@
+"""Selectivity estimation for queries and per-dimension filters.
+
+Query-type clustering (§4.3.1) embeds each query as a vector of per-dimension
+filter selectivities; the Augmented Grid optimizer initializes partition
+counts proportionally to average per-dimension selectivity (§5.3.2).  Both use
+the helpers in this module.
+
+Selectivities can be computed exactly against a table or estimated against a
+uniform sample; both paths share the same code since a sample is just a
+smaller table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.query import Query
+from repro.storage.table import Table
+
+
+def dimension_selectivity(table: Table, dimension: str, low: int, high: int) -> float:
+    """Fraction of rows whose value in ``dimension`` lies in ``[low, high]``."""
+    if table.num_rows == 0:
+        return 0.0
+    values = table.values(dimension)
+    matching = int(np.count_nonzero((values >= low) & (values <= high)))
+    return matching / table.num_rows
+
+
+def query_selectivity(table: Table, query: Query) -> float:
+    """Fraction of rows matching *all* of the query's predicates."""
+    if table.num_rows == 0:
+        return 0.0
+    mask = np.ones(table.num_rows, dtype=bool)
+    for predicate in query.predicates:
+        mask &= predicate.matches(table.values(predicate.dimension))
+    return int(mask.sum()) / table.num_rows
+
+
+def selectivity_vector(table: Table, query: Query) -> dict[str, float]:
+    """Per-dimension selectivities of a query's predicates.
+
+    This is the embedding used for query-type clustering: each filtered
+    dimension maps to the selectivity of the query's filter over that
+    dimension alone.
+    """
+    return {
+        predicate.dimension: dimension_selectivity(
+            table, predicate.dimension, predicate.low, predicate.high
+        )
+        for predicate in query.predicates
+    }
+
+
+def average_dimension_selectivity(
+    table: Table, queries: list[Query], dimension: str
+) -> float:
+    """Average selectivity over ``dimension`` of the queries that filter it.
+
+    Queries that do not filter ``dimension`` are treated as selecting the full
+    domain (selectivity 1.0), mirroring how Flood and Tsunami reason about
+    unfiltered dimensions when sizing partitions.
+    """
+    if not queries:
+        return 1.0
+    total = 0.0
+    for query in queries:
+        predicate = query.predicate_for(dimension)
+        if predicate is None:
+            total += 1.0
+        else:
+            total += dimension_selectivity(
+                table, dimension, predicate.low, predicate.high
+            )
+    return total / len(queries)

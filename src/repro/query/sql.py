@@ -1,0 +1,242 @@
+"""A small SQL front-end for the queries the paper targets (§2).
+
+Tsunami accelerates analytics queries of the form::
+
+    SELECT SUM(R.X) FROM MyTable
+    WHERE (a <= R.Y <= b) AND (c <= R.Z <= d)
+
+This module parses exactly that family of statements — a single aggregation
+over one table with a conjunction of per-dimension range or equality
+predicates — into a :class:`~repro.query.query.Query`, so the examples and
+downstream users can talk to an index in SQL instead of constructing
+predicates by hand.
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT COUNT(*) | COUNT(col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+    FROM <table-name>
+    [WHERE <condition> [AND <condition>]*]
+
+    condition := col BETWEEN v AND v
+               | col =  v  | col == v
+               | col <  v  | col <= v
+               | col >  v  | col >= v
+
+Values may be integers, floats, or single-quoted strings; they are converted
+to the storage domain through the table's column encodings.  Multiple
+conditions over the same column are intersected.  Anything outside this
+grammar (joins, OR, GROUP BY, ...) raises :class:`~repro.common.errors.QueryError`,
+because the index cannot accelerate it anyway.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+from repro.query.query import AGGREGATES, Query
+from repro.storage.table import Table
+
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<agg>\w+)\s*\(\s*(?P<column>\*|[\w.]+)\s*\)\s+"
+    r"FROM\s+(?P<table>[\w.]+)\s*(?:WHERE\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_BETWEEN_RE = re.compile(
+    r"^(?P<column>[\w.]+)\s+BETWEEN\s+(?P<low>\S+)\s+AND\s+(?P<high>\S+)$",
+    re.IGNORECASE,
+)
+
+_COMPARISON_RE = re.compile(
+    r"^(?P<column>[\w.]+)\s*(?P<op>==|=|<=|>=|<|>)\s*(?P<value>.+)$"
+)
+
+
+@dataclass(frozen=True)
+class ParsedStatement:
+    """The pieces of a parsed SELECT statement, before predicate conversion."""
+
+    aggregate: str
+    aggregate_column: str | None
+    table_name: str
+    conditions: tuple[tuple[str, str, str], ...]  # (column, operator, raw value)
+
+
+def _strip_qualifier(name: str) -> str:
+    """Drop a leading table qualifier (``R.price`` -> ``price``)."""
+    return name.split(".")[-1]
+
+
+def _parse_value(raw: str) -> object:
+    """Turn a SQL literal into a Python value (int, float, or string)."""
+    text = raw.strip().rstrip(";").strip()
+    if not text:
+        raise QueryError("empty literal in WHERE clause")
+    if (text[0] == text[-1] == "'") or (text[0] == text[-1] == '"'):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise QueryError(f"cannot interpret literal {raw!r}") from None
+
+
+def _split_conjunction(where: str) -> list[str]:
+    """Split a WHERE clause on top-level ANDs, respecting BETWEEN ... AND ...."""
+    tokens = re.split(r"\s+(AND)\s+", where.strip(), flags=re.IGNORECASE)
+    parts: list[str] = []
+    current = ""
+    pending_between = False
+    for token in tokens:
+        if token.upper() == "AND":
+            if pending_between:
+                current += " AND "
+                pending_between = False
+            else:
+                parts.append(current)
+                current = ""
+            continue
+        current += token
+        if re.search(r"\bBETWEEN\b", token, flags=re.IGNORECASE):
+            pending_between = True
+    if current.strip():
+        parts.append(current)
+    return [part.strip().strip("()").strip() for part in parts if part.strip()]
+
+
+def parse_statement(sql: str) -> ParsedStatement:
+    """Parse a SELECT statement into its structural pieces (no table needed)."""
+    match = _SELECT_RE.match(sql)
+    if match is None:
+        raise QueryError(
+            "statement is not of the supported form "
+            "'SELECT <agg>(<col>) FROM <table> [WHERE ...]'"
+        )
+    aggregate = match.group("agg").lower()
+    if aggregate not in AGGREGATES:
+        raise QueryError(
+            f"unsupported aggregate {match.group('agg')!r}; expected one of {AGGREGATES}"
+        )
+    column = match.group("column")
+    if column == "*":
+        if aggregate != "count":
+            raise QueryError(f"{aggregate.upper()}(*) is not valid SQL; name a column")
+        aggregate_column = None
+    else:
+        aggregate_column = _strip_qualifier(column)
+
+    conditions: list[tuple[str, str, str]] = []
+    where = match.group("where")
+    if where:
+        for clause in _split_conjunction(where):
+            between = _BETWEEN_RE.match(clause)
+            if between is not None:
+                conditions.append(
+                    (_strip_qualifier(between.group("column")), "between_low", between.group("low"))
+                )
+                conditions.append(
+                    (_strip_qualifier(between.group("column")), "between_high", between.group("high"))
+                )
+                continue
+            comparison = _COMPARISON_RE.match(clause)
+            if comparison is None:
+                raise QueryError(f"cannot parse WHERE condition {clause!r}")
+            conditions.append(
+                (
+                    _strip_qualifier(comparison.group("column")),
+                    comparison.group("op"),
+                    comparison.group("value"),
+                )
+            )
+    return ParsedStatement(
+        aggregate=aggregate,
+        aggregate_column=aggregate_column,
+        table_name=match.group("table"),
+        conditions=tuple(conditions),
+    )
+
+
+def _bounds_from_conditions(
+    table: Table, conditions: tuple[tuple[str, str, str], ...]
+) -> dict[str, tuple[int, int]]:
+    """Intersect parsed conditions into per-column inclusive storage bounds.
+
+    Sides not constrained by any condition default to the column's data
+    bounds.  Conditions that contradict *each other* raise; a condition that
+    merely falls outside the data's domain (e.g. an equality on a value that
+    does not occur) yields a valid range that simply matches no rows.
+    """
+    lows: dict[str, int] = {}
+    highs: dict[str, int] = {}
+    for name, operator, raw in conditions:
+        if name not in table:
+            raise QueryError(
+                f"column {name!r} does not exist in table {table.name!r}; "
+                f"available: {table.column_names}"
+            )
+        column = table.column(name)
+        value = column.to_storage(_parse_value(raw))
+        if operator in {"=", "=="}:
+            lows[name] = max(lows.get(name, value), value)
+            highs[name] = min(highs.get(name, value), value)
+        elif operator in {"<=", "between_high"}:
+            highs[name] = min(highs.get(name, value), value)
+        elif operator == "<":
+            highs[name] = min(highs.get(name, value - 1), value - 1)
+        elif operator in {">=", "between_low"}:
+            lows[name] = max(lows.get(name, value), value)
+        elif operator == ">":
+            lows[name] = max(lows.get(name, value + 1), value + 1)
+        else:  # pragma: no cover - the regex only admits the operators above
+            raise QueryError(f"unsupported operator {operator!r}")
+        if name in lows and name in highs and lows[name] > highs[name]:
+            raise QueryError(
+                f"conditions over column {name!r} are contradictory "
+                f"(empty range [{lows[name]}, {highs[name]}])"
+            )
+
+    bounds: dict[str, tuple[int, int]] = {}
+    for name in set(lows) | set(highs):
+        table_low, table_high = table.bounds(name)
+        low = lows.get(name, table_low)
+        high = highs.get(name, table_high)
+        if high < low:
+            # The condition lies entirely outside the data's domain; keep the
+            # predicate well-formed so the query simply matches nothing.
+            high = low if name in lows else high
+            low = high if name not in lows else low
+        bounds[name] = (low, high)
+    return bounds
+
+
+def parse_query(sql: str, table: Table) -> Query:
+    """Parse ``sql`` against ``table`` into an executable :class:`Query`."""
+    statement = parse_statement(sql)
+    if statement.aggregate_column is not None and statement.aggregate_column not in table:
+        raise QueryError(
+            f"aggregate column {statement.aggregate_column!r} does not exist in "
+            f"table {table.name!r}"
+        )
+    bounds = _bounds_from_conditions(table, statement.conditions)
+    aggregate_column = statement.aggregate_column
+    if statement.aggregate == "count":
+        aggregate_column = None
+    return Query.from_ranges(
+        bounds, aggregate=statement.aggregate, aggregate_column=aggregate_column
+    )
+
+
+def execute_sql(sql: str, index) -> float:
+    """Parse ``sql`` and execute it through a built index.
+
+    ``index`` is any object exposing the clustered-index surface
+    (``table`` property and ``execute(query)``), e.g.
+    :class:`~repro.core.tsunami.TsunamiIndex` or any baseline.
+    """
+    query = parse_query(sql, index.table)
+    return index.execute(query).value

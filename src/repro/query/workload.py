@@ -1,0 +1,150 @@
+"""Query workloads: ordered collections of queries with summary statistics.
+
+The paper optimizes every learned index against a *sample query workload*
+(§3, §5.3) and evaluates on workloads composed of several query types, each
+with 100 queries (§6.2).  :class:`Workload` is the container used for both
+roles, and :class:`WorkloadStatistics` summarizes the characteristics the
+paper reports in Table 3 (number of query types, selectivity range/average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.common.rng import SeedLike, make_rng
+from repro.query.query import Query
+from repro.query.selectivity import query_selectivity
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Summary statistics of a workload against a particular table."""
+
+    num_queries: int
+    num_query_types: int
+    filtered_dimensions: tuple[str, ...]
+    min_selectivity: float
+    max_selectivity: float
+    avg_selectivity: float
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by the benchmark reports)."""
+        return (
+            f"{self.num_queries} queries, {self.num_query_types} types, "
+            f"selectivity {self.min_selectivity:.4%}..{self.max_selectivity:.4%} "
+            f"(avg {self.avg_selectivity:.4%})"
+        )
+
+
+class Workload:
+    """An ordered collection of queries, optionally labelled by query type."""
+
+    def __init__(self, queries: Sequence[Query], name: str = "workload") -> None:
+        self.name = name
+        self._queries = list(queries)
+
+    # -- protocol -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self._queries[index]
+
+    def __repr__(self) -> str:
+        return f"Workload(name={self.name!r}, queries={len(self)})"
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def queries(self) -> list[Query]:
+        """The queries in workload order (a copy)."""
+        return list(self._queries)
+
+    def filtered_dimensions(self) -> tuple[str, ...]:
+        """All dimensions filtered by at least one query, in first-seen order."""
+        seen: dict[str, None] = {}
+        for query in self._queries:
+            for dim in query.filtered_dimensions:
+                seen.setdefault(dim, None)
+        return tuple(seen)
+
+    def query_types(self) -> list[int]:
+        """Distinct query-type labels present (unlabelled queries are ignored)."""
+        labels = sorted({q.query_type for q in self._queries if q.query_type is not None})
+        return labels
+
+    def by_type(self) -> dict[int | None, list[Query]]:
+        """Group queries by their query-type label."""
+        groups: dict[int | None, list[Query]] = {}
+        for query in self._queries:
+            groups.setdefault(query.query_type, []).append(query)
+        return groups
+
+    def filter(self, keep: Callable[[Query], bool], name: str | None = None) -> "Workload":
+        """Return a new workload containing only queries for which ``keep`` is true."""
+        return Workload(
+            [q for q in self._queries if keep(q)], name=name or f"{self.name}_filtered"
+        )
+
+    def sample(self, count: int, seed: SeedLike = None) -> "Workload":
+        """Uniformly sample ``count`` queries without replacement."""
+        rng = make_rng(seed)
+        count = min(count, len(self._queries))
+        chosen = rng.choice(len(self._queries), size=count, replace=False)
+        return Workload(
+            [self._queries[i] for i in sorted(chosen)], name=f"{self.name}_sample"
+        )
+
+    def split(self, fraction: float, seed: SeedLike = None) -> tuple["Workload", "Workload"]:
+        """Randomly split into (train, test) workloads with ``fraction`` in train."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        rng = make_rng(seed)
+        order = rng.permutation(len(self._queries))
+        cut = max(1, int(round(fraction * len(self._queries))))
+        train_ids = set(order[:cut].tolist())
+        train = [q for i, q in enumerate(self._queries) if i in train_ids]
+        test = [q for i, q in enumerate(self._queries) if i not in train_ids]
+        return (
+            Workload(train, name=f"{self.name}_train"),
+            Workload(test, name=f"{self.name}_test"),
+        )
+
+    def extend(self, other: Iterable[Query]) -> "Workload":
+        """Return a new workload with ``other``'s queries appended."""
+        return Workload(self._queries + list(other), name=self.name)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def statistics(self, table: Table, sample_rows: int = 50_000, seed: SeedLike = 7) -> WorkloadStatistics:
+        """Compute Table-3 style statistics against ``table``.
+
+        Selectivities are estimated on a row sample for large tables to keep
+        the computation cheap; the sample size is generous relative to the
+        selectivities involved (0.001%–10%).
+        """
+        if len(self._queries) == 0:
+            return WorkloadStatistics(0, 0, (), 0.0, 0.0, 0.0)
+        target = table
+        if table.num_rows > sample_rows:
+            target = table.sample_rows(sample_rows, make_rng(seed))
+        selectivities = np.array(
+            [query_selectivity(target, query) for query in self._queries]
+        )
+        types = {q.query_type for q in self._queries if q.query_type is not None}
+        return WorkloadStatistics(
+            num_queries=len(self._queries),
+            num_query_types=len(types) if types else 1,
+            filtered_dimensions=self.filtered_dimensions(),
+            min_selectivity=float(selectivities.min()),
+            max_selectivity=float(selectivities.max()),
+            avg_selectivity=float(selectivities.mean()),
+        )

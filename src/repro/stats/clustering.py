@@ -1,0 +1,110 @@
+"""DBSCAN clustering, implemented from scratch for query-type discovery.
+
+§4.3.1 clusters queries into *query types* by running DBSCAN over their
+per-dimension selectivity embeddings with ``eps = 0.2``.  scikit-learn is not
+available in this environment, so this module provides a small, standard
+DBSCAN implementation (Ester et al., KDD 1996) sufficient for workload-sized
+inputs (hundreds to low thousands of points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NOISE = -1
+_UNVISITED = -2
+
+
+def _region_query(distances: np.ndarray, point: int, eps: float) -> np.ndarray:
+    """Indices of all points within ``eps`` of ``point`` (including itself)."""
+    return np.flatnonzero(distances[point] <= eps)
+
+
+def dbscan(points: np.ndarray, eps: float, min_samples: int = 4) -> np.ndarray:
+    """Cluster ``points`` with DBSCAN and return per-point integer labels.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``; Euclidean distance is used.
+    eps:
+        Neighbourhood radius (the paper uses 0.2 over selectivity embeddings).
+    min_samples:
+        Minimum neighbourhood size (including the point itself) for a core
+        point.
+
+    Returns
+    -------
+    labels:
+        Array of shape ``(n,)`` with cluster ids ``0, 1, ...`` and
+        :data:`NOISE` (``-1``) for points not assigned to any cluster.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+
+    # Pairwise Euclidean distances; workloads are small so O(n^2) is fine.
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+
+    labels = np.full(n, _UNVISITED, dtype=np.int64)
+    cluster_id = 0
+    for point in range(n):
+        if labels[point] != _UNVISITED:
+            continue
+        neighbours = _region_query(distances, point, eps)
+        if len(neighbours) < min_samples:
+            labels[point] = NOISE
+            continue
+        labels[point] = cluster_id
+        # Expand the cluster with a classic seed-list sweep.
+        seeds = list(neighbours)
+        index = 0
+        while index < len(seeds):
+            candidate = int(seeds[index])
+            index += 1
+            if labels[candidate] == NOISE:
+                labels[candidate] = cluster_id
+            if labels[candidate] != _UNVISITED:
+                continue
+            labels[candidate] = cluster_id
+            candidate_neighbours = _region_query(distances, candidate, eps)
+            if len(candidate_neighbours) >= min_samples:
+                existing = set(seeds)
+                seeds.extend(
+                    int(i) for i in candidate_neighbours if int(i) not in existing
+                )
+        cluster_id += 1
+    return labels
+
+
+def assign_noise_to_clusters(points: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Assign each noise point to the nearest non-noise cluster (if any exists).
+
+    Query-type clustering must give every query a type, so noise points are
+    folded into their nearest cluster; if the whole input is noise, each point
+    becomes its own singleton cluster.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    labels = np.asarray(labels).copy()
+    noise_ids = np.flatnonzero(labels == NOISE)
+    if len(noise_ids) == 0:
+        return labels
+    clustered_ids = np.flatnonzero(labels != NOISE)
+    if len(clustered_ids) == 0:
+        labels[noise_ids] = np.arange(len(noise_ids))
+        return labels
+    for noise_point in noise_ids:
+        deltas = points[clustered_ids] - points[noise_point]
+        nearest = clustered_ids[int(np.argmin((deltas**2).sum(axis=1)))]
+        labels[noise_point] = labels[nearest]
+    return labels

@@ -1,0 +1,187 @@
+"""Correlation detection and the functional-mapping regression model.
+
+The Augmented Grid chooses among three partitioning strategies per dimension
+using correlation statistics (§5.2, §5.3.2 heuristics):
+
+* a *functional mapping* (a bounded linear regression) when two dimensions are
+  tightly monotonically correlated — the mapping's error bound must be below
+  10% of the target dimension's domain;
+* a *conditional CDF* when independently partitioning the pair would leave
+  more than 25% of cells in their grid hyperplane empty;
+* an independent CDF otherwise.
+
+This module provides the statistics those decisions are based on and the
+:class:`BoundedLinearModel` that implements the mapping itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.common.errors import IndexBuildError
+
+
+@dataclass(frozen=True)
+class BoundedLinearModel:
+    """A linear regression with hard lower/upper error bounds.
+
+    §5.2.1: "we implement the mapping function as a simple linear regression
+    LR trained to predict X from Y, with lower and upper error bounds el and
+    eu.  Therefore, a functional mapping is encoded in four floating point
+    numbers."  Given a filter range over the mapped dimension Y, the model
+    produces a covering range over the target dimension X.
+    """
+
+    slope: float
+    intercept: float
+    error_low: float
+    error_high: float
+
+    @classmethod
+    def fit(cls, mapped_values: np.ndarray, target_values: np.ndarray) -> "BoundedLinearModel":
+        """Fit the regression predicting target X from mapped Y with hard bounds."""
+        y = np.asarray(mapped_values, dtype=np.float64)
+        x = np.asarray(target_values, dtype=np.float64)
+        if y.shape != x.shape:
+            raise IndexBuildError("mapped and target value arrays differ in length")
+        if y.size == 0:
+            raise IndexBuildError("cannot fit a functional mapping on no data")
+        if y.size == 1 or float(np.ptp(y)) == 0.0:
+            slope, intercept = 0.0, float(np.mean(x))
+        else:
+            slope, intercept = np.polyfit(y, x, deg=1)
+        predictions = slope * y + intercept
+        residuals = x - predictions
+        # error_low is how far the prediction can overshoot the true minimum,
+        # error_high how far it can undershoot the true maximum.
+        error_low = float(max(0.0, -residuals.min())) if residuals.size else 0.0
+        error_high = float(max(0.0, residuals.max())) if residuals.size else 0.0
+        return cls(
+            slope=float(slope),
+            intercept=float(intercept),
+            error_low=error_low,
+            error_high=error_high,
+        )
+
+    def predict(self, y: float) -> float:
+        """Point prediction of the target value for mapped value ``y``."""
+        return self.slope * y + self.intercept
+
+    def map_range(self, y_low: float, y_high: float) -> tuple[float, float]:
+        """Map a filter range over Y to a covering range over X.
+
+        The guarantee from §5.2.1: every point whose Y value lies in
+        ``[y_low, y_high]`` has its X value inside the returned range.
+        """
+        candidates = (self.predict(y_low), self.predict(y_high))
+        x_low = min(candidates) - self.error_low
+        x_high = max(candidates) + self.error_high
+        return x_low, x_high
+
+    @property
+    def error_span(self) -> float:
+        """Total width added by the error bounds."""
+        return self.error_low + self.error_high
+
+    def relative_error(self, target_domain_width: float) -> float:
+        """Error span relative to the target dimension's domain width."""
+        if target_domain_width <= 0:
+            return float("inf")
+        return self.error_span / target_domain_width
+
+    def size_bytes(self) -> int:
+        """Four floating point numbers (§5.2.1)."""
+        return 32
+
+
+@dataclass(frozen=True)
+class CorrelationInfo:
+    """Pairwise correlation summary between two dimensions."""
+
+    dimension_a: str
+    dimension_b: str
+    spearman: float
+    pearson: float
+
+    @property
+    def is_monotonic(self) -> bool:
+        """Whether the pair is (strongly) monotonically correlated."""
+        return abs(self.spearman) >= 0.8
+
+
+def monotonic_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation between two value arrays (NaN-safe, in [-1, 1])."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("arrays must have equal length")
+    if x.size < 2 or float(np.ptp(x)) == 0.0 or float(np.ptp(y)) == 0.0:
+        return 0.0
+    rho = scipy_stats.spearmanr(x, y).statistic
+    if np.isnan(rho):
+        return 0.0
+    return float(rho)
+
+
+def empty_cell_fraction(
+    x_partitions: np.ndarray,
+    y_partitions: np.ndarray,
+    num_x_partitions: int,
+    num_y_partitions: int,
+) -> float:
+    """Fraction of cells in the X×Y grid hyperplane containing no points.
+
+    This is the statistic behind the conditional-CDF heuristic (§5.3.2): if
+    independently partitioning X and Y leaves more than 25% of their pairwise
+    cells empty, the data is correlated enough to justify ``CDF(Y | X)``.
+    """
+    if num_x_partitions < 1 or num_y_partitions < 1:
+        raise ValueError("partition counts must be >= 1")
+    x_partitions = np.asarray(x_partitions)
+    y_partitions = np.asarray(y_partitions)
+    total_cells = num_x_partitions * num_y_partitions
+    if x_partitions.size == 0:
+        return 1.0
+    cell_ids = x_partitions * num_y_partitions + y_partitions
+    occupied = len(np.unique(cell_ids))
+    return 1.0 - occupied / total_cells
+
+
+def correlation_report(
+    columns: dict[str, np.ndarray], sample_size: int = 10_000, seed: int = 13
+) -> list[CorrelationInfo]:
+    """Pairwise correlation summary over a set of columns (on a row sample)."""
+    names = list(columns)
+    if not names:
+        return []
+    length = len(next(iter(columns.values())))
+    rng = np.random.default_rng(seed)
+    if length > sample_size:
+        chosen = np.sort(rng.choice(length, size=sample_size, replace=False))
+        sampled = {name: np.asarray(values)[chosen] for name, values in columns.items()}
+    else:
+        sampled = {name: np.asarray(values) for name, values in columns.items()}
+    report = []
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1 :]:
+            a = sampled[name_a].astype(np.float64)
+            b = sampled[name_b].astype(np.float64)
+            spearman = monotonic_correlation(a, b)
+            if a.size < 2 or float(np.ptp(a)) == 0.0 or float(np.ptp(b)) == 0.0:
+                pearson = 0.0
+            else:
+                pearson = float(np.corrcoef(a, b)[0, 1])
+                if np.isnan(pearson):
+                    pearson = 0.0
+            report.append(
+                CorrelationInfo(
+                    dimension_a=name_a,
+                    dimension_b=name_b,
+                    spearman=spearman,
+                    pearson=pearson,
+                )
+            )
+    return report

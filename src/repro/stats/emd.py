@@ -1,0 +1,45 @@
+"""Earth Mover's Distance between one-dimensional binned distributions.
+
+Query skew (§4.2.1) is defined as the EMD between the empirical PDF of query
+mass over histogram bins and the uniform distribution over the same bins.
+For one-dimensional histograms with equal-width bins the EMD has a closed
+form: the L1 distance between the cumulative distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def earth_movers_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """EMD between two non-negative mass vectors over aligned bins.
+
+    The inputs need not be normalized; they are compared as distributions, so
+    each is divided by its own total mass first.  Two all-zero vectors have
+    distance zero.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"distributions have different shapes {p.shape} vs {q.shape}")
+    if p.size == 0:
+        return 0.0
+    p_total = p.sum()
+    q_total = q.sum()
+    if p_total == 0 and q_total == 0:
+        return 0.0
+    p_norm = p / p_total if p_total > 0 else np.full_like(p, 1.0 / p.size)
+    q_norm = q / q_total if q_total > 0 else np.full_like(q, 1.0 / q.size)
+    return float(np.abs(np.cumsum(p_norm - q_norm)).sum())
+
+
+def uniform_like(mass: np.ndarray) -> np.ndarray:
+    """The uniform distribution with the same total mass and bin count as ``mass``.
+
+    This is ``Uni_i(Q, x, y)`` from §4.2.1: each bin receives the average of
+    the histogram mass over the range.
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    if mass.size == 0:
+        return mass.copy()
+    return np.full(mass.shape, mass.sum() / mass.size)

@@ -1,0 +1,143 @@
+"""Histograms over data values and over query filter ranges.
+
+Two kinds of histogram appear in the paper:
+
+* Equi-width histograms over a dimension's value domain, used as cheap CDF
+  approximations and as the discretization underlying the skew tree (§4.2.1,
+  by default 128 bins, or one bin per unique value when there are fewer).
+* The *query histogram* ``Hist_i(Q, a, b, n)``: each query contributes a unit
+  of mass spread uniformly over the bins its filter range intersects, so the
+  total mass equals ``|Q|`` (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import QueryError
+
+
+@dataclass(frozen=True)
+class EquiWidthHistogram:
+    """An equi-width histogram over the integer range ``[low, high]``.
+
+    ``edges`` has ``num_bins + 1`` entries; bin ``j`` covers
+    ``[edges[j], edges[j+1])`` except the last bin, which also includes the
+    upper edge so that the domain maximum falls into a bin.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.counts) + 1:
+            raise ValueError(
+                f"expected len(edges) == len(counts) + 1, got {len(self.edges)} "
+                f"and {len(self.counts)}"
+            )
+
+    @property
+    def num_bins(self) -> int:
+        """Number of histogram bins."""
+        return len(self.counts)
+
+    @property
+    def low(self) -> float:
+        """Inclusive lower edge of the histogram domain."""
+        return float(self.edges[0])
+
+    @property
+    def high(self) -> float:
+        """Inclusive upper edge of the histogram domain."""
+        return float(self.edges[-1])
+
+    @property
+    def total(self) -> float:
+        """Total mass across all bins."""
+        return float(self.counts.sum())
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, num_bins: int = 128
+    ) -> "EquiWidthHistogram":
+        """Build a histogram of data values.
+
+        If the dimension has fewer distinct values than ``num_bins``, one bin
+        is created per distinct value, mirroring the skew-tree construction
+        rule in §4.3.2.
+        """
+        values = np.asarray(values)
+        if values.size == 0:
+            raise ValueError("cannot build a histogram over an empty value array")
+        unique = np.unique(values)
+        if len(unique) <= num_bins:
+            edges = np.append(unique.astype(np.float64), float(unique[-1]) + 1.0)
+            counts = np.array(
+                [np.count_nonzero(values == value) for value in unique],
+                dtype=np.float64,
+            )
+            return cls(edges=edges, counts=counts)
+        counts, edges = np.histogram(values, bins=num_bins)
+        return cls(edges=edges.astype(np.float64), counts=counts.astype(np.float64))
+
+    def bin_of(self, value: float) -> int:
+        """Index of the bin containing ``value`` (clamped to the domain)."""
+        index = int(np.searchsorted(self.edges, value, side="right")) - 1
+        return int(np.clip(index, 0, self.num_bins - 1))
+
+    def bin_range(self, low: float, high: float) -> tuple[int, int]:
+        """Half-open bin index range ``[first, last + 1)`` intersecting ``[low, high]``."""
+        if high < low:
+            raise QueryError(f"invalid range [{low}, {high}]")
+        return self.bin_of(low), self.bin_of(high) + 1
+
+    def normalized(self) -> np.ndarray:
+        """Counts normalized to sum to one (the empirical PDF over bins)."""
+        total = self.total
+        if total == 0:
+            return np.full(self.num_bins, 1.0 / self.num_bins)
+        return self.counts / total
+
+
+def query_histogram(
+    intervals: list[tuple[float, float]],
+    low: float,
+    high: float,
+    num_bins: int = 128,
+    edges: np.ndarray | None = None,
+) -> EquiWidthHistogram:
+    """Build ``Hist_i(Q, a, b, n)`` from per-query filter intervals.
+
+    Parameters
+    ----------
+    intervals:
+        One ``(low, high)`` filter range per query over the dimension, already
+        clipped by the caller if desired.  Queries that do not intersect
+        ``[low, high]`` contribute nothing.
+    low, high:
+        The histogram domain ``[a, b)``; typically a Grid Tree node's extent.
+    num_bins:
+        Number of bins (128 by default, as in §4.3.2).
+    edges:
+        Optional externally supplied bin edges (e.g. one bin per unique value).
+    """
+    if high <= low:
+        raise QueryError(f"histogram domain [{low}, {high}) is empty")
+    if edges is None:
+        edges = np.linspace(low, high, num_bins + 1)
+    else:
+        edges = np.asarray(edges, dtype=np.float64)
+        num_bins = len(edges) - 1
+    counts = np.zeros(num_bins, dtype=np.float64)
+    histogram = EquiWidthHistogram(edges=edges, counts=counts)
+    for q_low, q_high in intervals:
+        clipped_low = max(q_low, low)
+        clipped_high = min(q_high, high - 1e-9)
+        if clipped_high < clipped_low:
+            continue
+        first, last = histogram.bin_range(clipped_low, clipped_high)
+        span = last - first
+        counts[first:last] += 1.0 / span
+    return EquiWidthHistogram(edges=edges, counts=counts)

@@ -1,0 +1,45 @@
+"""In-memory clustered column store substrate.
+
+The paper evaluates every index on a custom in-memory column store whose
+physical row order is owned by the index (a *clustered* layout).  This
+subpackage reproduces that substrate:
+
+* :class:`~repro.storage.column.Column` — a typed column of 64-bit integers,
+  optionally backed by a string dictionary or a fixed-point float scale.
+* :class:`~repro.storage.table.Table` — a named collection of equal-length
+  columns plus the clustered reorganization primitive used by every index.
+* :class:`~repro.storage.scan.ScanExecutor` — contiguous range scans with the
+  paper's "exact range" optimization and machine-independent work counters.
+"""
+
+from repro.storage.column import Column
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.scaling import FixedPointScaler, scale_to_int64
+from repro.storage.table import Table
+from repro.storage.scan import RowRange, ScanExecutor, ScanStats
+from repro.storage.persistence import (
+    save_table,
+    load_table,
+    save_index,
+    load_index,
+    snapshot_info,
+)
+from repro.storage.csv_io import read_csv, write_csv
+
+__all__ = [
+    "Column",
+    "DictionaryEncoder",
+    "FixedPointScaler",
+    "scale_to_int64",
+    "Table",
+    "RowRange",
+    "ScanExecutor",
+    "ScanStats",
+    "save_table",
+    "load_table",
+    "save_index",
+    "load_index",
+    "snapshot_info",
+    "read_csv",
+    "write_csv",
+]

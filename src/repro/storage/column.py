@@ -1,0 +1,142 @@
+"""A single typed column of the in-memory column store.
+
+All stored values are 64-bit integers (§6.1).  A column remembers how its
+values were produced — directly as integers, via fixed-point scaling of
+floats, or via dictionary encoding of strings — so user-facing values can be
+converted to storage values (for query predicates) and back (for display).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.common.validation import ensure_int64_array
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.scaling import FixedPointScaler
+
+
+class Column:
+    """An immutable-length, reorderable column of ``int64`` values."""
+
+    def __init__(
+        self,
+        name: str,
+        values: np.ndarray,
+        dictionary: DictionaryEncoder | None = None,
+        scaler: FixedPointScaler | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("column name must be a non-empty string")
+        if dictionary is not None and scaler is not None:
+            raise SchemaError(
+                f"column {name!r} cannot be both dictionary-encoded and float-scaled"
+            )
+        self.name = name
+        self._values = ensure_int64_array(values, name=f"column {name!r}")
+        self.dictionary = dictionary
+        self.scaler = scaler
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence) -> "Column":
+        """Build a column from raw user values, inferring the encoding.
+
+        Strings are dictionary-encoded; floats are fixed-point scaled by the
+        smallest power of ten that makes them integral; integers are stored
+        as-is.
+        """
+        sample = list(values)
+        if sample and isinstance(sample[0], str):
+            dictionary = DictionaryEncoder(sample)
+            return cls(name, dictionary.encode(sample), dictionary=dictionary)
+        array = np.asarray(sample)
+        if array.dtype.kind == "U" or array.dtype.kind == "O":
+            dictionary = DictionaryEncoder([str(v) for v in sample])
+            return cls(
+                name,
+                dictionary.encode([str(v) for v in sample]),
+                dictionary=dictionary,
+            )
+        if np.issubdtype(array.dtype, np.floating):
+            scaler = FixedPointScaler.fit(array)
+            return cls(name, scaler.transform(array), scaler=scaler)
+        return cls(name, array)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __repr__(self) -> str:
+        kind = "dict" if self.dictionary else ("scaled" if self.scaler else "int")
+        return f"Column(name={self.name!r}, rows={len(self)}, kind={kind})"
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The stored ``int64`` values (a read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Return the stored values in the physical row range ``[start, stop)``."""
+        return self._values[start:stop]
+
+    def min(self) -> int:
+        """Minimum stored value (raises on an empty column)."""
+        if len(self) == 0:
+            raise SchemaError(f"column {self.name!r} is empty")
+        return int(self._values.min())
+
+    def max(self) -> int:
+        """Maximum stored value (raises on an empty column)."""
+        if len(self) == 0:
+            raise SchemaError(f"column {self.name!r} is empty")
+        return int(self._values.max())
+
+    # -- value conversion ----------------------------------------------------
+
+    def to_storage(self, value) -> int:
+        """Convert a user-facing value into the stored integer domain."""
+        if self.dictionary is not None:
+            return self.dictionary.encode_one(str(value))
+        if self.scaler is not None:
+            return self.scaler.transform_scalar(float(value))
+        return int(value)
+
+    def to_user(self, value: int):
+        """Convert a stored integer back to its user-facing value."""
+        if self.dictionary is not None:
+            return self.dictionary.decode_one(int(value))
+        if self.scaler is not None:
+            return float(value) / self.scaler.factor
+        return int(value)
+
+    # -- mutation (clustered reorganization only) ----------------------------
+
+    def reorder(self, permutation: np.ndarray) -> None:
+        """Physically reorder the column rows by ``permutation``.
+
+        This is the primitive used by clustered indexes to own the physical
+        layout; it is the only supported mutation of a column.
+        """
+        permutation = np.asarray(permutation)
+        if permutation.shape != (len(self),):
+            raise SchemaError(
+                f"permutation length {permutation.shape} does not match column "
+                f"length {len(self)}"
+            )
+        self._values = self._values[permutation]
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the stored values."""
+        total = int(self._values.nbytes)
+        if self.dictionary is not None:
+            total += self.dictionary.size_bytes()
+        return total

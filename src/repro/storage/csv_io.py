@@ -1,0 +1,136 @@
+"""CSV ingestion and export for the column store.
+
+The paper's datasets arrive as flat files (TLC trip records, Kaggle stock
+prices, TPC-H ``dbgen`` output).  This module provides the small amount of
+I/O a downstream user needs to get such a file into a
+:class:`~repro.storage.table.Table` — with the same encoding rules the rest of
+the storage layer uses (§6.1): integer columns stored as-is, floating point
+columns fixed-point scaled, string columns dictionary encoded.
+
+Only the features the indexes care about are implemented: typed columns and a
+header row.  Anything more exotic (quoting dialects, NULLs, nested values)
+should be cleaned up before ingestion.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def _infer_one(value: str) -> object:
+    """Parse one CSV cell into int, float, or string (in that priority order)."""
+    text = value.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _infer_column(values: Sequence[str]) -> list:
+    """Parse a whole column, falling back to the widest type any cell needs.
+
+    If every cell parses as an integer the column is integral; if every cell
+    parses as a number the column is floating point; otherwise it is a string
+    column (and every cell is kept verbatim).
+    """
+    parsed = [_infer_one(value) for value in values]
+    if all(isinstance(value, int) for value in parsed):
+        return parsed
+    if all(isinstance(value, (int, float)) for value in parsed):
+        return [float(value) for value in parsed]
+    return [str(value).strip() for value in values]
+
+
+def read_csv(
+    path: str | Path,
+    table_name: str | None = None,
+    columns: Iterable[str] | None = None,
+    delimiter: str = ",",
+    max_rows: int | None = None,
+) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`.
+
+    Parameters
+    ----------
+    path:
+        CSV file to read.  The first row must be the header.
+    table_name:
+        Name of the resulting table; defaults to the file's stem.
+    columns:
+        Optional subset of header columns to keep (in the given order).
+    delimiter:
+        Field separator; defaults to a comma.
+    max_rows:
+        Optional cap on the number of data rows read (useful for sampling a
+        large file before committing to a full ingest).
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SchemaError(f"CSV file {file_path} does not exist")
+
+    with open(file_path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {file_path} is empty") from None
+        header = [name.strip() for name in header]
+        if len(set(header)) != len(header):
+            raise SchemaError(f"CSV header has duplicate column names: {header}")
+
+        keep = list(columns) if columns is not None else header
+        missing = [name for name in keep if name not in header]
+        if missing:
+            raise SchemaError(f"requested columns {missing} are not in the CSV header {header}")
+        positions = [header.index(name) for name in keep]
+
+        raw: dict[str, list[str]] = {name: [] for name in keep}
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"row {row_number + 2} of {file_path} has {len(row)} fields, "
+                    f"expected {len(header)}"
+                )
+            for name, position in zip(keep, positions):
+                raw[name].append(row[position])
+
+    if not raw or not next(iter(raw.values())):
+        raise SchemaError(f"CSV file {file_path} contains a header but no data rows")
+
+    data = {name: _infer_column(values) for name, values in raw.items()}
+    return Table.from_dict(table_name or file_path.stem, data)
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> Path:
+    """Write ``table`` to a CSV file using user-facing values.
+
+    Dictionary-encoded columns are written as their original strings and
+    fixed-point columns as floats, so a round trip through
+    :func:`read_csv` reproduces the same logical table (physical row order is
+    whatever the table currently has, i.e. the clustered order if an index
+    owns it).
+    """
+    file_path = Path(path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    names = table.column_names
+    decoders = {name: table.column(name) for name in names}
+    with open(file_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for row_id in range(table.num_rows):
+            writer.writerow(
+                [decoders[name].to_user(int(table.values(name)[row_id])) for name in names]
+            )
+    return file_path

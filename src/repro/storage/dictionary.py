@@ -1,0 +1,93 @@
+"""Dictionary encoding for string-valued columns.
+
+The paper's setup (§6.1) dictionary-encodes any string attribute before
+evaluation so that every stored value is a 64-bit integer.  The encoder here
+assigns codes in lexicographic order of the distinct values, which preserves
+the alphanumeric sort order used for categorical dimensions (§8 notes that
+categorical dimensions default to an alphanumeric sort).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+
+
+class DictionaryEncoder:
+    """Bidirectional mapping between string values and dense integer codes.
+
+    Codes are assigned in sorted order of the distinct values, so
+    ``encode`` is order-preserving: ``a < b`` implies ``code(a) < code(b)``.
+    """
+
+    def __init__(self, values: Iterable[str] = ()) -> None:
+        self._value_to_code: dict[str, int] = {}
+        self._code_to_value: list[str] = []
+        initial = list(values)
+        if initial:
+            self.fit(initial)
+
+    def __len__(self) -> int:
+        return len(self._code_to_value)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._value_to_code
+
+    @property
+    def values(self) -> list[str]:
+        """Distinct values in code order (i.e. sorted order)."""
+        return list(self._code_to_value)
+
+    def fit(self, values: Iterable[str]) -> "DictionaryEncoder":
+        """Build the dictionary from an iterable of string values."""
+        distinct = sorted(set(values) | set(self._code_to_value))
+        self._code_to_value = distinct
+        self._value_to_code = {value: code for code, value in enumerate(distinct)}
+        return self
+
+    @classmethod
+    def from_ordered_values(cls, values: Sequence[str]) -> "DictionaryEncoder":
+        """Build a dictionary whose codes follow the given value order.
+
+        This is the entry point for workload-aware categorical orderings
+        (:mod:`repro.core.categorical`, §8): instead of the default
+        alphanumeric order, codes are assigned in the order ``values`` are
+        listed.  Values must be distinct.
+        """
+        ordered = list(values)
+        if len(set(ordered)) != len(ordered):
+            raise SchemaError("ordered dictionary values must be distinct")
+        encoder = cls()
+        encoder._code_to_value = ordered
+        encoder._value_to_code = {value: code for code, value in enumerate(ordered)}
+        return encoder
+
+    def encode_one(self, value: str) -> int:
+        """Return the code for a single value."""
+        try:
+            return self._value_to_code[value]
+        except KeyError:
+            raise SchemaError(f"value {value!r} is not in the dictionary") from None
+
+    def decode_one(self, code: int) -> str:
+        """Return the value for a single code."""
+        if not 0 <= code < len(self._code_to_value):
+            raise SchemaError(
+                f"code {code} is out of range for dictionary of size {len(self)}"
+            )
+        return self._code_to_value[code]
+
+    def encode(self, values: Sequence[str]) -> np.ndarray:
+        """Encode a sequence of values into an ``int64`` array."""
+        return np.array([self.encode_one(value) for value in values], dtype=np.int64)
+
+    def decode(self, codes: Sequence[int]) -> list[str]:
+        """Decode a sequence of codes back into their string values."""
+        return [self.decode_one(int(code)) for code in codes]
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the dictionary."""
+        return sum(len(value.encode("utf-8")) + 8 for value in self._code_to_value)

@@ -1,0 +1,189 @@
+"""Saving and loading tables and built indexes (§8, "Persistence").
+
+The paper's index is purely in-memory, but §8 notes that its techniques
+"could be incorporated into a multi-dimensional index for data resident on
+disk or SSD."  The first prerequisite for that is a durable representation of
+the clustered table and the optimized index structure, which this module
+provides:
+
+* :func:`save_table` / :func:`load_table` write a
+  :class:`~repro.storage.table.Table` as an ``.npz`` file of column values
+  plus a JSON manifest describing each column's encoding (dictionary values
+  or fixed-point scale), so the table round-trips exactly, including the
+  physical row order a clustered index imposed.
+* :func:`save_index` / :func:`load_index` snapshot a *built* index.  The
+  optimized structure (Grid Tree, Augmented Grids, baselines' trees) is
+  pickled; the table it was clustered over is stored with
+  :func:`save_table` and re-attached on load, so the snapshot does not keep
+  two copies of the data and loading restores a fully queryable index without
+  re-optimizing or re-sorting anything.
+
+Snapshots are trusted artifacts: like any pickle-based format they must only
+be loaded from directories this process (or an equally trusted one) wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.base import ClusteredIndex
+from repro.common.errors import IndexBuildError, SchemaError
+from repro.storage.column import Column
+from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.scaling import FixedPointScaler
+from repro.storage.scan import ScanExecutor
+from repro.storage.table import Table
+
+#: Manifest format version, bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+_TABLE_MANIFEST = "table.json"
+_TABLE_VALUES = "columns.npz"
+_INDEX_MANIFEST = "index.json"
+_INDEX_PICKLE = "index.pkl"
+
+
+# -- tables ---------------------------------------------------------------------------
+
+
+def save_table(table: Table, directory: str | Path) -> Path:
+    """Write ``table`` (values, encodings, physical row order) to ``directory``.
+
+    The directory is created if needed.  Returns the directory path.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(table.values(name)) for name in table.column_names}
+    np.savez_compressed(path / _TABLE_VALUES, **arrays)
+
+    columns = []
+    for name in table.column_names:
+        column = table.column(name)
+        entry: dict = {"name": name, "kind": "int"}
+        if column.dictionary is not None:
+            entry["kind"] = "dictionary"
+            entry["values"] = column.dictionary.values
+        elif column.scaler is not None:
+            entry["kind"] = "scaled"
+            entry["decimals"] = column.scaler.decimals
+        columns.append(entry)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": table.name,
+        "num_rows": table.num_rows,
+        "columns": columns,
+    }
+    with open(path / _TABLE_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def load_table(directory: str | Path) -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    path = Path(directory)
+    manifest_path = path / _TABLE_MANIFEST
+    if not manifest_path.exists():
+        raise SchemaError(f"no table manifest found in {path}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported table snapshot version {manifest.get('format_version')!r}"
+        )
+    with np.load(path / _TABLE_VALUES) as archive:
+        arrays = {name: np.array(archive[name]) for name in archive.files}
+
+    columns = []
+    for entry in manifest["columns"]:
+        name = entry["name"]
+        if name not in arrays:
+            raise SchemaError(f"column {name!r} listed in manifest but missing from values")
+        values = arrays[name]
+        if entry["kind"] == "dictionary":
+            dictionary = DictionaryEncoder.from_ordered_values(entry["values"])
+            columns.append(Column(name, values, dictionary=dictionary))
+        elif entry["kind"] == "scaled":
+            scaler = FixedPointScaler(decimals=int(entry["decimals"]))
+            columns.append(Column(name, values, scaler=scaler))
+        else:
+            columns.append(Column(name, values))
+    table = Table(manifest["name"], columns)
+    if table.num_rows != manifest["num_rows"]:
+        raise SchemaError(
+            f"snapshot row count mismatch: manifest says {manifest['num_rows']}, "
+            f"values contain {table.num_rows}"
+        )
+    return table
+
+
+# -- indexes ---------------------------------------------------------------------------
+
+
+def save_index(index: ClusteredIndex, directory: str | Path) -> Path:
+    """Snapshot a built index (structure plus its clustered table) to ``directory``."""
+    if not index.is_built:
+        raise IndexBuildError("only a built index can be saved")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    save_table(index.table, path)
+
+    # Detach the table and executor so the pickle holds only the index
+    # structure; they are restored immediately afterwards and on load.
+    table, executor = index._table, index._executor
+    try:
+        index._table, index._executor = None, None
+        with open(path / _INDEX_PICKLE, "wb") as handle:
+            pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        index._table, index._executor = table, executor
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "index_name": index.name,
+        "index_class": type(index).__qualname__,
+        "index_size_bytes": index.index_size_bytes(),
+        "num_rows": index.table.num_rows,
+    }
+    with open(path / _INDEX_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def load_index(directory: str | Path) -> ClusteredIndex:
+    """Load an index snapshot written by :func:`save_index`, ready to query."""
+    path = Path(directory)
+    pickle_path = path / _INDEX_PICKLE
+    if not pickle_path.exists():
+        raise IndexBuildError(f"no index snapshot found in {path}")
+    table = load_table(path)
+    with open(pickle_path, "rb") as handle:
+        index = pickle.load(handle)
+    if not isinstance(index, ClusteredIndex):
+        raise IndexBuildError(
+            f"snapshot in {path} does not contain a ClusteredIndex "
+            f"(got {type(index).__name__})"
+        )
+    index._table = table
+    index._executor = ScanExecutor(table)
+    return index
+
+
+def snapshot_info(directory: str | Path) -> dict:
+    """Read a snapshot's manifests without loading the data or the index."""
+    path = Path(directory)
+    info: dict = {}
+    table_manifest = path / _TABLE_MANIFEST
+    if table_manifest.exists():
+        with open(table_manifest, encoding="utf-8") as handle:
+            info["table"] = json.load(handle)
+    index_manifest = path / _INDEX_MANIFEST
+    if index_manifest.exists():
+        with open(index_manifest, encoding="utf-8") as handle:
+            info["index"] = json.load(handle)
+    if not info:
+        raise SchemaError(f"{path} does not contain a snapshot")
+    return info

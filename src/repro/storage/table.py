@@ -1,0 +1,159 @@
+"""The clustered in-memory table used by every index in the reproduction.
+
+A :class:`Table` owns a set of equal-length :class:`~repro.storage.column.Column`
+objects.  The physical row order is shared by all columns and is controlled by
+whichever index currently clusters the table (via :meth:`Table.reorder`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+
+
+class Table:
+    """A named collection of equal-length columns with a shared row order."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name:
+            raise SchemaError("table name must be a non-empty string")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"table {name!r} has columns of differing lengths: {sorted(lengths)}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names: {names}")
+        self.name = name
+        self._columns: dict[str, Column] = {column.name: column for column in columns}
+        self._num_rows = lengths.pop()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Sequence]) -> "Table":
+        """Build a table from ``{column name: values}``, inferring encodings."""
+        columns = [Column.from_values(col, values) for col, values in data.items()]
+        return cls(name, columns)
+
+    @classmethod
+    def from_arrays(cls, name: str, data: Mapping[str, np.ndarray]) -> "Table":
+        """Build a table from already-integral NumPy arrays (no re-encoding)."""
+        columns = [Column(col, np.asarray(values)) for col, values in data.items()]
+        return cls(name, columns)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, rows={self._num_rows}, "
+            f"columns={list(self._columns)})"
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (points) in the table."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    @property
+    def num_dimensions(self) -> int:
+        """Number of columns, i.e. the dimensionality of the data space."""
+        return len(self._columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {list(self._columns)}"
+            ) from None
+
+    def values(self, name: str) -> np.ndarray:
+        """Shortcut for ``table.column(name).values``."""
+        return self.column(name).values
+
+    def matrix(self, names: Iterable[str] | None = None) -> np.ndarray:
+        """Stack the requested columns into an ``(n_rows, n_dims)`` matrix."""
+        selected = list(names) if names is not None else self.column_names
+        return np.column_stack([self.column(name).values for name in selected])
+
+    def bounds(self, name: str) -> tuple[int, int]:
+        """Return ``(min, max)`` of the stored values in column ``name``."""
+        column = self.column(name)
+        return column.min(), column.max()
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of all column data."""
+        return sum(column.size_bytes() for column in self._columns.values())
+
+    # -- clustered reorganization ---------------------------------------------------
+
+    def reorder(self, permutation: np.ndarray) -> None:
+        """Physically reorder every column's rows by the same ``permutation``.
+
+        ``permutation`` must be a permutation of ``range(num_rows)``.  Indexes
+        call this once at build time to cluster the table by their layout.
+        """
+        permutation = np.asarray(permutation)
+        if permutation.shape != (self._num_rows,):
+            raise SchemaError(
+                f"permutation has shape {permutation.shape}, expected ({self._num_rows},)"
+            )
+        if self._num_rows:
+            seen = np.zeros(self._num_rows, dtype=bool)
+            seen[permutation] = True
+            if not seen.all():
+                raise SchemaError("permutation is not a bijection over the row ids")
+        for column in self._columns.values():
+            column.reorder(permutation)
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> "Table":
+        """Return a new table containing ``count`` rows sampled without replacement."""
+        count = min(count, self._num_rows)
+        chosen = np.sort(rng.choice(self._num_rows, size=count, replace=False))
+        columns = [
+            Column(
+                column.name,
+                column.values[chosen],
+                dictionary=column.dictionary,
+                scaler=column.scaler,
+            )
+            for column in self._columns.values()
+        ]
+        return Table(f"{self.name}_sample", columns)
+
+    def subset(self, row_ids: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table restricted to ``row_ids`` (logical selection)."""
+        row_ids = np.asarray(row_ids)
+        columns = [
+            Column(
+                column.name,
+                column.values[row_ids],
+                dictionary=column.dictionary,
+                scaler=column.scaler,
+            )
+            for column in self._columns.values()
+        ]
+        return Table(name or f"{self.name}_subset", columns)

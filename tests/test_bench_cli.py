@@ -1,0 +1,62 @@
+"""Tests for the experiment CLI (python -m repro.bench.cli)."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert args.rows is None
+
+    def test_scale_flags(self):
+        args = build_parser().parse_args(["fig7", "--rows", "1000", "--queries", "5"])
+        assert args.experiments == ["fig7"]
+        assert args.rows == 1000 and args.queries == 5
+
+
+class TestRunExperiment:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_experiment("nope", None, None)
+
+    def test_table3_runs_at_tiny_scale(self):
+        result = run_experiment("table3", rows=2_000, queries=3)
+        assert "dataset" in result.report
+
+    def test_registry_covers_every_table_and_figure(self):
+        paper_artifacts = {
+            "table3",
+            "table4",
+            "fig7",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "fig11a",
+            "fig11b",
+            "fig12a",
+            "fig12b",
+        }
+        assert paper_artifacts <= set(EXPERIMENTS)
+        # Anything beyond the paper's tables/figures must be clearly marked as
+        # a supplementary extension experiment.
+        assert all(
+            name.startswith("ext-") for name in set(EXPERIMENTS) - paper_artifacts
+        )
+
+
+class TestMain:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table3" in output and "fig12b" in output
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table3", "--rows", "2000", "--queries", "3"]) == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Tests for the top-level command-line tool (repro.cli)."""
+
+import pytest
+
+from repro.cli import INDEX_FACTORIES, build_parser, main
+
+CSV_TEXT = "date,amount,region\n" + "\n".join(
+    f"{day},{(day * 37) % 500},{['east', 'west'][day % 2]}" for day in range(200)
+)
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "sales.csv"
+    path.write_text(CSV_TEXT + "\n")
+    return path
+
+
+class TestParser:
+    def test_every_index_has_a_factory(self):
+        for name, factory in INDEX_FACTORIES.items():
+            index = factory(1024)
+            assert hasattr(index, "build"), name
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        args = parser.parse_args(["inspect", "--dataset", "taxi", "--rows", "1000"])
+        assert args.command == "inspect"
+        args = parser.parse_args(
+            ["query", "--dataset", "tpch", "--sql", "SELECT COUNT(*) FROM t"]
+        )
+        assert args.command == "query"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestInspect:
+    def test_inspect_dataset(self, capsys):
+        exit_code = main(["inspect", "--dataset", "stocks", "--rows", "2000", "--queries", "5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "2000 rows" in output
+        assert "storage range" in output
+
+    def test_inspect_csv(self, capsys, csv_path):
+        exit_code = main(["inspect", "--csv", str(csv_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "region" in output
+        assert "string" in output
+
+    def test_missing_source_is_an_error(self, capsys):
+        exit_code = main(["inspect"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_both_sources_is_an_error(self, csv_path, capsys):
+        exit_code = main(["inspect", "--dataset", "taxi", "--csv", str(csv_path)])
+        assert exit_code == 2
+
+
+class TestBuildQueryExplain:
+    def test_build_then_query_snapshot(self, tmp_path, capsys, csv_path):
+        snapshot = tmp_path / "snap"
+        exit_code = main(
+            [
+                "build",
+                "--csv",
+                str(csv_path),
+                "--index",
+                "kd-tree",
+                "--page-size",
+                "64",
+                "--snapshot",
+                str(snapshot),
+            ]
+        )
+        assert exit_code == 0
+        assert (snapshot / "index.pkl").exists()
+        capsys.readouterr()
+
+        exit_code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot),
+                "--sql",
+                "SELECT COUNT(*) FROM sales WHERE date BETWEEN 0 AND 99",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "100.0" in output
+        assert "scanned" in output
+
+    def test_query_without_snapshot_builds_on_the_fly(self, capsys, csv_path):
+        exit_code = main(
+            [
+                "query",
+                "--csv",
+                str(csv_path),
+                "--index",
+                "z-order",
+                "--page-size",
+                "64",
+                "--sql",
+                "SELECT SUM(amount) FROM sales WHERE region = 'east'",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "built z-order" in output
+
+    def test_explain_reports_plan_counters(self, capsys, csv_path):
+        exit_code = main(
+            [
+                "explain",
+                "--csv",
+                str(csv_path),
+                "--index",
+                "kd-tree",
+                "--page-size",
+                "32",
+                "--sql",
+                "SELECT COUNT(*) FROM sales WHERE date <= 50",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cell_ranges" in output
+        assert "rows_to_scan" in output
+        assert "table_fraction_scanned" in output

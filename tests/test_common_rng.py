@@ -1,0 +1,48 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_seed_is_deterministic(self):
+        assert make_rng(None).integers(0, 1 << 30) == make_rng(None).integers(0, 1 << 30)
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(0, 1 << 30) == make_rng(5).integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = make_rng(1).integers(0, 1 << 30, 8)
+        draws_b = make_rng(2).integers(0, 1 << 30, 8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(7, 2)
+        assert children[0].integers(0, 1 << 30) != children[1].integers(0, 1 << 30)
+
+    def test_deterministic_across_calls(self):
+        first = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 3)]
+        second = [g.integers(0, 1 << 30) for g in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(children) == 2

@@ -1,0 +1,65 @@
+"""Tests for repro.common.validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.validation import (
+    ensure_in_range,
+    ensure_int64_array,
+    ensure_non_empty,
+    ensure_positive,
+)
+
+
+class TestEnsureInt64Array:
+    def test_int_list(self):
+        result = ensure_int64_array([1, 2, 3])
+        assert result.dtype == np.int64
+        assert result.tolist() == [1, 2, 3]
+
+    def test_integral_floats_accepted(self):
+        result = ensure_int64_array([1.0, 2.0])
+        assert result.tolist() == [1, 2]
+
+    def test_non_integral_floats_rejected(self):
+        with pytest.raises(SchemaError, match="non-integral"):
+            ensure_int64_array([1.5, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(SchemaError, match="non-finite"):
+            ensure_int64_array([float("nan")])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError, match="one-dimensional"):
+            ensure_int64_array(np.zeros((2, 2)))
+
+    def test_strings_rejected(self):
+        with pytest.raises(SchemaError, match="numeric"):
+            ensure_int64_array(np.array(["a", "b"]))
+
+    def test_empty_accepted(self):
+        assert ensure_int64_array([]).size == 0
+
+
+class TestScalarValidators:
+    def test_ensure_positive_accepts(self):
+        assert ensure_positive(3.5) == 3.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_ensure_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            ensure_positive(value)
+
+    def test_ensure_in_range_accepts_bounds(self):
+        assert ensure_in_range(0.0, 0.0, 1.0) == 0.0
+        assert ensure_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_ensure_in_range_rejects(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0)
+
+    def test_ensure_non_empty(self):
+        assert ensure_non_empty([1]) == [1]
+        with pytest.raises(ValueError):
+            ensure_non_empty([])

@@ -1,0 +1,284 @@
+"""Tests for repro.core.augmented_grid."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexBuildError, OptimizationError
+from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig
+from repro.core.skeleton import (
+    ConditionalCDFStrategy,
+    FunctionalMappingStrategy,
+    IndependentCDFStrategy,
+    Skeleton,
+)
+from repro.query.engine import execute_full_scan
+from repro.query.query import Query
+from repro.storage.scan import ScanExecutor
+from repro.storage.table import Table
+
+
+def correlated_table(num_rows: int = 8000, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 10_000, num_rows)
+    y = x * 2 + rng.integers(-40, 41, num_rows)  # tight monotonic correlation
+    z = rng.integers(0, 500, num_rows)  # independent
+    return Table.from_arrays("corr", {"x": x, "y": y, "z": z})
+
+
+def build_grid(table: Table, skeleton: Skeleton, partitions: dict[str, int]) -> AugmentedGrid:
+    grid = AugmentedGrid(AugmentedGridConfig(skeleton=skeleton, partitions=partitions))
+    permutation = grid.fit(table)
+    table.reorder(permutation)
+    return grid
+
+
+def run_query(table: Table, grid: AugmentedGrid, query: Query) -> float:
+    executor = ScanExecutor(table)
+    value, _ = executor.execute(
+        grid.ranges_for_query(query), query.filters(), query.aggregate, query.aggregate_column
+    )
+    return value
+
+
+QUERIES = [
+    Query.from_ranges({"x": (1000, 2000)}),
+    Query.from_ranges({"y": (4000, 6000)}),
+    Query.from_ranges({"x": (0, 9999), "z": (0, 50)}),
+    Query.from_ranges({"x": (5000, 5200), "y": (9500, 11000), "z": (100, 400)}),
+    Query.from_ranges({"z": (499, 499)}),
+    Query.from_ranges({"x": (20000, 30000)}),  # empty result
+]
+
+
+class TestConfigValidation:
+    def test_missing_partition_counts_rejected(self):
+        config = AugmentedGridConfig(skeleton=Skeleton.all_independent(["x", "y"]), partitions={"x": 4})
+        with pytest.raises(OptimizationError):
+            config.validated()
+
+    def test_cell_budget_enforced(self):
+        config = AugmentedGridConfig(
+            skeleton=Skeleton.all_independent(["x", "y"]),
+            partitions={"x": 4096, "y": 4096},
+            max_cells=1000,
+        )
+        with pytest.raises(OptimizationError):
+            config.validated()
+
+    def test_invalid_partition_count_rejected(self):
+        config = AugmentedGridConfig(
+            skeleton=Skeleton.all_independent(["x"]), partitions={"x": 0}
+        )
+        with pytest.raises(OptimizationError):
+            config.validated()
+
+    def test_total_cells(self):
+        config = AugmentedGridConfig(
+            skeleton=Skeleton.all_independent(["x", "y"]), partitions={"x": 4, "y": 3}
+        )
+        assert config.total_cells == 12
+
+
+class TestIndependentGrid:
+    """The all-independent skeleton is exactly Flood's grid (§2.2)."""
+
+    @pytest.mark.parametrize("query", QUERIES, ids=range(len(QUERIES)))
+    def test_correctness(self, query):
+        table = correlated_table()
+        expected, _ = execute_full_scan(table, query)
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 8, "y": 8, "z": 4})
+        assert run_query(table, grid, query) == expected
+
+    def test_cells_roughly_equal_depth_on_uncorrelated_dims(self):
+        rng = np.random.default_rng(1)
+        table = Table.from_arrays(
+            "u", {"a": rng.integers(0, 10_000, 20_000), "b": rng.integers(0, 10_000, 20_000)}
+        )
+        grid = build_grid(table, Skeleton.all_independent(["a", "b"]), {"a": 8, "b": 8})
+        sizes = grid.cell_sizes()
+        assert sizes.sum() == 20_000
+        assert sizes.max() < 4 * sizes.mean()
+
+    def test_unequal_cells_on_correlated_dims(self):
+        # §5.1: independent partitioning of correlated dims clusters points
+        # into few cells, leaving many cells empty.
+        table = correlated_table()
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 8, "y": 8, "z": 1})
+        assert grid.num_nonempty_cells < 0.5 * grid.num_cells
+
+    def test_fewer_points_scanned_than_full_scan(self):
+        table = correlated_table()
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 16, "y": 1, "z": 1})
+        query = Query.from_ranges({"x": (1000, 1500)})
+        _, features = grid.plan(query)
+        assert features.scanned_points < table.num_rows / 4
+
+    def test_single_partition_dimension_needs_no_model(self):
+        table = correlated_table()
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 4, "y": 1, "z": 1})
+        assert set(grid._cdf_models) == {"x"}
+
+
+class TestConditionalGrid:
+    def _skeleton(self) -> Skeleton:
+        return Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": ConditionalCDFStrategy(base="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+
+    @pytest.mark.parametrize("query", QUERIES, ids=range(len(QUERIES)))
+    def test_correctness(self, query):
+        table = correlated_table(seed=2)
+        expected, _ = execute_full_scan(table, query)
+        grid = build_grid(table, self._skeleton(), {"x": 8, "y": 4, "z": 2})
+        assert run_query(table, grid, query) == expected
+
+    def test_equalizes_cells_under_correlation(self):
+        table_a = correlated_table(seed=3)
+        independent = build_grid(
+            table_a, Skeleton.all_independent(["x", "y", "z"]), {"x": 8, "y": 8, "z": 1}
+        )
+        table_b = correlated_table(seed=3)
+        conditional = build_grid(table_b, self._skeleton(), {"x": 8, "y": 8, "z": 1})
+        # Conditional-CDF partitioning staggers boundaries, so far fewer cells
+        # are empty and the occupied cells are more uniform (Fig. 6).
+        assert conditional.num_nonempty_cells > independent.num_nonempty_cells
+        occupied_independent = independent.cell_sizes()[independent.cell_sizes() > 0]
+        occupied_conditional = conditional.cell_sizes()[conditional.cell_sizes() > 0]
+        assert occupied_conditional.max() < occupied_independent.max()
+
+
+class TestFunctionalMappingGrid:
+    def _skeleton(self) -> Skeleton:
+        return Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": FunctionalMappingStrategy(target="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+
+    @pytest.mark.parametrize("query", QUERIES, ids=range(len(QUERIES)))
+    def test_correctness(self, query):
+        table = correlated_table(seed=4)
+        expected, _ = execute_full_scan(table, query)
+        grid = build_grid(table, self._skeleton(), {"x": 12, "z": 3})
+        assert run_query(table, grid, query) == expected
+
+    def test_mapped_dimension_not_in_grid(self):
+        table = correlated_table(seed=5)
+        grid = build_grid(table, self._skeleton(), {"x": 8, "z": 2})
+        assert "y" not in grid.grid_dimensions
+        assert grid.num_cells == 16
+
+    def test_mapping_narrows_filter_onto_target(self):
+        # A filter on the mapped dimension y should prune x partitions: far
+        # fewer points are scanned than scanning every x partition.
+        table = correlated_table(seed=6)
+        grid = build_grid(table, self._skeleton(), {"x": 16, "z": 1})
+        query = Query.from_ranges({"y": (4000, 4400)})
+        _, features = grid.plan(query)
+        assert features.scanned_points < 0.4 * table.num_rows
+
+
+class TestPlanningDetails:
+    def test_exact_ranges_only_for_interior_partitions(self):
+        table = correlated_table(seed=7)
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 16, "y": 1, "z": 1})
+        query = Query.from_ranges({"x": (100, 9900)})
+        ranges = grid.ranges_for_query(query)
+        assert any(r.exact for r in ranges)
+        # Exactness must never produce wrong answers.
+        expected, _ = execute_full_scan(table, query)
+        assert run_query(table, grid, query) == expected
+
+    def test_no_exact_ranges_when_filtering_mapped_dimension(self):
+        table = correlated_table(seed=8)
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": FunctionalMappingStrategy(target="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+        grid = build_grid(table, skeleton, {"x": 8, "z": 2})
+        ranges = grid.ranges_for_query(Query.from_ranges({"y": (0, 20_000)}))
+        assert all(not r.exact for r in ranges)
+
+    def test_plan_features_match_ranges(self):
+        table = correlated_table(seed=9)
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 8, "y": 4, "z": 2})
+        query = Query.from_ranges({"x": (2000, 7000), "z": (0, 100)})
+        spans, features = grid.plan(query)
+        assert features.num_cell_ranges == len(spans)
+        assert features.scanned_points == sum(stop - start for start, stop, _ in spans)
+        assert features.num_filtered_dimensions == 2
+
+    def test_offset_shifts_ranges(self):
+        table = correlated_table(seed=10)
+        grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 4, "y": 2, "z": 2})
+        query = Query.from_ranges({"x": (0, 9999)})
+        plain = grid.ranges_for_query(query, offset=0)
+        shifted = grid.ranges_for_query(query, offset=1000)
+        assert all(s.start == p.start + 1000 for p, s in zip(plain, shifted))
+
+    def test_unfitted_grid_rejects_planning(self):
+        grid = AugmentedGrid(
+            AugmentedGridConfig(skeleton=Skeleton.all_independent(["x"]), partitions={"x": 2})
+        )
+        with pytest.raises(IndexBuildError):
+            grid.plan(Query.from_ranges({"x": (0, 1)}))
+
+    def test_empty_table_rejected(self):
+        grid = AugmentedGrid(
+            AugmentedGridConfig(skeleton=Skeleton.all_independent(["x"]), partitions={"x": 2})
+        )
+        with pytest.raises(IndexBuildError):
+            grid.fit(Table.from_arrays("e", {"x": np.array([], dtype=np.int64)}))
+
+    def test_missing_dimension_rejected(self):
+        table = Table.from_arrays("t", {"a": np.arange(10)})
+        grid = AugmentedGrid(
+            AugmentedGridConfig(skeleton=Skeleton.all_independent(["x"]), partitions={"x": 2})
+        )
+        with pytest.raises(IndexBuildError):
+            grid.fit(table)
+
+
+class TestReporting:
+    def test_describe_fields(self):
+        table = correlated_table(seed=11)
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": ConditionalCDFStrategy(base="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+        grid = build_grid(table, skeleton, {"x": 4, "y": 4, "z": 2})
+        info = grid.describe()
+        assert info["num_cells"] == 32
+        assert info["num_conditional_cdfs"] == 1
+        assert info["num_functional_mappings"] == 0
+        assert info["size_bytes"] > 0
+
+    def test_size_grows_with_cells(self):
+        table_a = correlated_table(seed=12)
+        small = build_grid(table_a, Skeleton.all_independent(["x", "y", "z"]), {"x": 2, "y": 2, "z": 1})
+        table_b = correlated_table(seed=12)
+        large = build_grid(table_b, Skeleton.all_independent(["x", "y", "z"]), {"x": 16, "y": 16, "z": 2})
+        assert large.index_size_bytes() > small.index_size_bytes()
+
+    def test_model_cache_reused(self):
+        table = correlated_table(seed=13)
+        cache: dict = {}
+        config = AugmentedGridConfig(
+            skeleton=Skeleton.all_independent(["x", "y", "z"]), partitions={"x": 4, "y": 4, "z": 2}
+        )
+        AugmentedGrid(config).fit(table, model_cache=cache)
+        populated = len(cache)
+        AugmentedGrid(config).fit(table, model_cache=cache)
+        assert len(cache) == populated and populated > 0

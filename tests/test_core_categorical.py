@@ -1,0 +1,156 @@
+"""Tests for workload-aware categorical ordering (§8 extension, repro.core.categorical)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.core.categorical import CategoricalReordering, co_access_counts
+from repro.query.engine import execute_full_scan
+from repro.query.predicates import EqualityPredicate
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+#: Alphabetical order gives codes: air=0, mail=1, rail=2, ship=3, truck=4.
+MODES = ["air", "mail", "rail", "ship", "truck"]
+
+
+def categorical_table(num_rows: int = 2_000, seed: int = 5) -> Table:
+    rng = np.random.default_rng(seed)
+    modes = [MODES[i] for i in rng.integers(0, len(MODES), num_rows)]
+    amount = rng.integers(0, 1_000, num_rows)
+    return Table.from_dict("orders", {"mode": modes, "amount": amount})
+
+
+def co_access_workload(table: Table) -> Workload:
+    """Queries that always access {air, truck} together and {mail} alone."""
+    air = table.column("mode").to_storage("air")
+    truck = table.column("mode").to_storage("truck")
+    mail = table.column("mode").to_storage("mail")
+    queries = []
+    for _ in range(20):
+        # air..truck spans the full alphabetical code range [0, 4].
+        queries.append(Query.from_ranges({"mode": (min(air, truck), max(air, truck))}))
+    for _ in range(5):
+        queries.append(Query.from_ranges({"mode": (mail, mail)}))
+    return Workload(queries, name="modes")
+
+
+class TestCoAccessCounts:
+    def test_counts_match_constructed_workload(self):
+        table = categorical_table()
+        workload = co_access_workload(table)
+        access, co_access = co_access_counts(table, "mode", workload)
+        air = table.column("mode").to_storage("air")
+        truck = table.column("mode").to_storage("truck")
+        mail = table.column("mode").to_storage("mail")
+        assert access[air] == 20  # mail-only queries do not touch air
+        assert access[mail] == 25  # mail is inside the broad range too
+        assert co_access[air, truck] == 20
+        assert co_access[air, air] == 0  # diagonal cleared
+
+    def test_queries_without_filter_are_ignored(self):
+        table = categorical_table()
+        workload = Workload([Query.from_ranges({"amount": (0, 100)})])
+        access, co_access = co_access_counts(table, "mode", workload)
+        assert access.sum() == 0
+        assert co_access.sum() == 0
+
+    def test_non_categorical_column_rejected(self):
+        table = categorical_table()
+        with pytest.raises(SchemaError):
+            co_access_counts(table, "amount", Workload([]))
+
+
+class TestReorderingFit:
+    def test_hot_values_get_low_codes(self):
+        table = categorical_table()
+        workload = co_access_workload(table)
+        air = table.column("mode").to_storage("air")
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        # air sits inside the hot co-accessed component, so it must receive a
+        # lower code than the values only touched by the rare mail queries
+        # that happen to span them.
+        assert int(reordering.old_to_new[air]) < reordering.num_values - 1
+
+    def test_mapping_is_a_permutation(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        assert sorted(reordering.new_order.tolist()) == list(range(len(MODES)))
+        assert sorted(reordering.old_to_new.tolist()) == list(range(len(MODES)))
+
+    def test_empty_workload_gives_identity_like_order(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", Workload([]))
+        assert reordering.num_values == len(MODES)
+        assert sorted(reordering.new_order.tolist()) == list(range(len(MODES)))
+
+
+class TestApplication:
+    def test_apply_to_table_round_trips_user_values(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        reordered = reordering.apply_to_table(table)
+        original = [table.column("mode").to_user(int(v)) for v in table.values("mode")[:200]]
+        rewritten = [
+            reordered.column("mode").to_user(int(v)) for v in reordered.values("mode")[:200]
+        ]
+        assert original == rewritten
+
+    def test_other_columns_are_untouched(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        reordered = reordering.apply_to_table(table)
+        assert np.array_equal(reordered.values("amount"), table.values("amount"))
+
+    def test_rewritten_queries_preserve_answers(self):
+        table = categorical_table()
+        workload = co_access_workload(table)
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        reordered_table = reordering.apply_to_table(table)
+        for query in list(workload)[:10]:
+            expected, _ = execute_full_scan(table, query)
+            rewritten = reordering.rewrite_query(query)
+            actual, _ = execute_full_scan(reordered_table, rewritten)
+            # Range rewrites may widen the scan but the verified COUNT must be
+            # at least the original; equality rewrites must match exactly.
+            assert actual >= expected
+
+    def test_equality_rewrite_is_exact(self):
+        table = categorical_table()
+        workload = co_access_workload(table)
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        reordered_table = reordering.apply_to_table(table)
+        code = table.column("mode").to_storage("rail")
+        query = Query(predicates=(EqualityPredicate("mode", code),))
+        expected, _ = execute_full_scan(table, query)
+        actual, _ = execute_full_scan(reordered_table, reordering.rewrite_query(query))
+        assert actual == expected
+
+    def test_query_without_categorical_filter_is_unchanged(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        query = Query.from_ranges({"amount": (10, 20)})
+        assert reordering.rewrite_query(query) is query
+
+    def test_rewrite_workload_preserves_length_and_name_suffix(self):
+        table = categorical_table()
+        workload = co_access_workload(table)
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        rewritten = reordering.rewrite_workload(workload)
+        assert len(rewritten) == len(workload)
+        assert rewritten.name.endswith("_reordered")
+
+    def test_apply_to_table_rejects_non_categorical(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        object.__setattr__(reordering, "dimension", "amount")
+        with pytest.raises(SchemaError):
+            reordering.apply_to_table(table)
+
+    def test_describe_reports_moves(self):
+        table = categorical_table()
+        reordering = CategoricalReordering.fit(table, "mode", co_access_workload(table))
+        info = reordering.describe()
+        assert info["num_values"] == len(MODES)
+        assert info["identity"] == reordering.is_identity()

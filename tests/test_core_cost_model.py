@@ -1,0 +1,85 @@
+"""Tests for repro.core.cost_model."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, QueryPlanFeatures
+
+
+class TestQueryPlanFeatures:
+    def test_scan_work(self):
+        features = QueryPlanFeatures(num_cell_ranges=2, scanned_points=100, num_filtered_dimensions=3)
+        assert features.scan_work == 300
+
+    def test_scan_work_with_no_filters(self):
+        features = QueryPlanFeatures(1, 50, 0)
+        assert features.scan_work == 50
+
+
+class TestCostModelPredict:
+    def test_linear_form(self):
+        model = CostModel(w0=10.0, w1=2.0)
+        features = QueryPlanFeatures(num_cell_ranges=3, scanned_points=100, num_filtered_dimensions=2)
+        assert model.predict(features) == 10 * 3 + 2 * 200
+
+    def test_average(self):
+        model = CostModel(w0=1.0, w1=1.0)
+        features = [
+            QueryPlanFeatures(1, 10, 1),
+            QueryPlanFeatures(1, 30, 1),
+        ]
+        assert model.predict_average(features) == pytest.approx((11 + 31) / 2)
+
+    def test_average_of_empty(self):
+        assert CostModel().predict_average([]) == 0.0
+
+    def test_more_scanning_costs_more(self):
+        model = CostModel()
+        cheap = QueryPlanFeatures(1, 10, 2)
+        expensive = QueryPlanFeatures(1, 10_000, 2)
+        assert model.predict(expensive) > model.predict(cheap)
+
+
+class TestCalibration:
+    def test_recovers_known_weights(self):
+        true_model = CostModel(w0=40.0, w1=3.0)
+        features = [
+            QueryPlanFeatures(ranges, points, dims)
+            for ranges, points, dims in [(1, 100, 1), (5, 50, 2), (10, 500, 3), (2, 1000, 1), (7, 10, 2)]
+        ]
+        times = [true_model.predict(f) for f in features]
+        fitted = CostModel.calibrate(features, times)
+        assert fitted.w0 == pytest.approx(40.0, rel=1e-6)
+        assert fitted.w1 == pytest.approx(3.0, rel=1e-6)
+
+    def test_weights_never_negative(self):
+        features = [QueryPlanFeatures(1, 10, 1), QueryPlanFeatures(2, 20, 1), QueryPlanFeatures(3, 5, 2)]
+        fitted = CostModel.calibrate(features, [1.0, 0.5, 0.1])
+        assert fitted.w0 >= 0.0 and fitted.w1 >= 0.0
+
+    def test_degenerate_inputs_fall_back(self):
+        fitted = CostModel.calibrate([QueryPlanFeatures(1, 10, 1)], [5.0])
+        assert isinstance(fitted, CostModel)
+
+    def test_collinear_features(self):
+        features = [QueryPlanFeatures(1, 10, 1)] * 5
+        fitted = CostModel.calibrate(features, [10.0] * 5)
+        assert fitted.predict(features[0]) == pytest.approx(10.0, rel=0.2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrate([QueryPlanFeatures(1, 1, 1)], [1.0, 2.0])
+
+
+class TestRelativeError:
+    def test_zero_for_perfect_model(self):
+        model = CostModel(w0=5.0, w1=1.0)
+        features = [QueryPlanFeatures(2, 100, 1), QueryPlanFeatures(4, 10, 2)]
+        times = [model.predict(f) for f in features]
+        assert model.relative_error(features, times) == pytest.approx(0.0)
+
+    def test_empty_features(self):
+        assert CostModel().relative_error([], []) == 0.0
+
+    def test_nonzero_for_wrong_model(self):
+        features = [QueryPlanFeatures(1, 100, 1)]
+        assert CostModel(w0=0.0, w1=1.0).relative_error(features, [200.0]) == pytest.approx(0.5)

@@ -1,0 +1,162 @@
+"""Tests for insert support via delta buffers (§8 extension, repro.core.delta)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FloodIndex, KdTreeIndex
+from repro.common.errors import IndexBuildError, SchemaError
+from repro.core.delta import DeltaBufferedIndex
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.query.engine import execute_full_scan
+from repro.query.query import Query
+from repro.storage.table import Table
+
+
+def tsunami_factory():
+    return TsunamiIndex(TsunamiConfig(optimizer_iterations=1, optimizer_sample_rows=2_000))
+
+
+def new_rows(count: int, seed: int = 21) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(count):
+        x = int(rng.integers(0, 10_000))
+        rows.append({"x": x, "y": 3 * x, "z": int(rng.integers(0, 1_000)), "c": int(rng.integers(0, 8))})
+    return rows
+
+
+def reference_table(index: DeltaBufferedIndex, inserted: list[dict]) -> Table:
+    """The table queries should behave as if they ran against (main + inserts)."""
+    base = index.base_index.table
+    data = {}
+    for name in base.column_names:
+        extra = np.array([row[name] for row in inserted], dtype=np.int64)
+        data[name] = np.concatenate([base.values(name), extra]) if inserted else base.values(name)
+    return Table.from_arrays("reference", data)
+
+
+class TestBuildAndInsert:
+    def test_inserts_visible_to_count_queries(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(50)
+        index.insert_many(rows)
+        assert index.num_pending == 50
+        reference = reference_table(index, rows)
+        for query in list(fresh_workload)[:15]:
+            expected, _ = execute_full_scan(reference, query)
+            assert index.execute(query).value == expected
+
+    @pytest.mark.parametrize(
+        "aggregate", ["count", "sum", "avg", "min", "max"]
+    )
+    def test_all_aggregates_combine_correctly(self, fresh_table, fresh_workload, aggregate):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(30, seed=4)
+        index.insert_many(rows)
+        reference = reference_table(index, rows)
+        column = None if aggregate == "count" else "z"
+        query = Query.from_ranges(
+            {"x": (1_000, 8_000)}, aggregate=aggregate, aggregate_column=column
+        )
+        expected, _ = execute_full_scan(reference, query)
+        assert index.execute(query).value == pytest.approx(expected)
+
+    def test_num_rows_counts_pending(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        base_rows = index.base_index.table.num_rows
+        index.insert_many(new_rows(7))
+        assert index.num_rows == base_rows + 7
+
+    def test_missing_column_rejected(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        with pytest.raises(SchemaError):
+            index.insert({"x": 1, "y": 2})
+
+    def test_unencodable_value_rejected(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        with pytest.raises(SchemaError):
+            index.insert({"x": "not-a-number", "y": 0, "z": 0, "c": 0})
+
+    def test_operations_before_build_raise(self):
+        index = DeltaBufferedIndex(tsunami_factory)
+        with pytest.raises(IndexBuildError):
+            index.insert({"x": 1})
+        with pytest.raises(IndexBuildError):
+            index.execute(Query.from_ranges({"x": (0, 1)}))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaBufferedIndex(tsunami_factory, merge_threshold=-1)
+
+
+class TestMerging:
+    def test_manual_merge_folds_buffer(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: FloodIndex(optimizer_iterations=1), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(40, seed=9)
+        index.insert_many(rows)
+        report = index.merge()
+        assert report.rows_merged == 40
+        assert index.num_pending == 0
+        assert index.base_index.table.num_rows == 5_000 + 40
+        reference = index.base_index.table
+        for query in list(fresh_workload)[:10]:
+            expected, _ = execute_full_scan(reference, query)
+            assert index.execute(query).value == expected
+
+    def test_merge_on_empty_buffer_is_noop(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        assert index.merge() is None
+        assert index.merge_history == []
+
+    def test_threshold_triggers_automatic_merge(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10)
+        index.build(fresh_table, fresh_workload)
+        index.insert_many(new_rows(25, seed=2))
+        assert index.num_pending < 10
+        assert len(index.merge_history) >= 2
+
+    def test_queries_correct_across_merge_boundary(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=20)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(45, seed=6)
+        index.insert_many(rows)
+        # Some rows were merged into the base table, the rest are pending; the
+        # reference is therefore the base table plus the still-pending tail.
+        pending = index.num_pending
+        reference = reference_table(index, rows[len(rows) - pending :])
+        query = Query.from_ranges({"x": (0, 10_000)})
+        expected, _ = execute_full_scan(reference, query)
+        assert index.execute(query).value == expected
+
+
+class TestReporting:
+    def test_index_size_includes_buffer(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        before = index.index_size_bytes()
+        index.insert_many(new_rows(10))
+        assert index.index_size_bytes() == before + 10 * 8 * len(fresh_table.column_names)
+
+    def test_describe_reports_pending_and_merges(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        index.insert_many(new_rows(3))
+        info = index.describe()
+        assert info["pending_inserts"] == 3
+        assert info["num_merges"] == 0
+        assert info["base_index"]["name"] == "kd-tree"
+
+    def test_execute_workload_accumulates_buffer_scans(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        index.insert_many(new_rows(20))
+        results, total = index.execute_workload(fresh_workload)
+        assert len(results) == len(fresh_workload)
+        assert total.points_scanned >= 20 * len(fresh_workload)

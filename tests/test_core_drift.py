@@ -1,0 +1,100 @@
+"""Tests for repro.core.drift (workload-shift detection, §8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import WorkloadDriftDetector
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_arrays(
+        "t",
+        {"time": rng.integers(0, 100_000, 20_000), "load": rng.integers(0, 1_000, 20_000)},
+    )
+
+
+def recent_time_queries(count: int, seed: int) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        low = int(rng.integers(85_000, 98_000))
+        queries.append(Query.from_ranges({"time": (low, low + 2_000)}, query_type=0))
+    return queries
+
+
+def high_load_queries(count: int, seed: int) -> list[Query]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        low = int(rng.integers(850, 950))
+        queries.append(Query.from_ranges({"load": (low, low + 50)}, query_type=1))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def detector(table) -> WorkloadDriftDetector:
+    workload = Workload(recent_time_queries(50, 1) + high_load_queries(50, 2))
+    return WorkloadDriftDetector().fit(table, workload)
+
+
+class TestNoDrift:
+    def test_same_workload_is_not_drift(self, detector):
+        report = detector.observe(recent_time_queries(25, 3) + high_load_queries(25, 4))
+        assert not report.drifted
+        assert report.new_type_fraction < 0.25
+        assert "no significant" in report.describe()
+
+    def test_empty_window(self, detector):
+        report = detector.observe([])
+        assert not report.drifted
+
+
+class TestDriftDetection:
+    def test_new_query_type_detected(self, detector):
+        rng = np.random.default_rng(5)
+        novel = [
+            Query.from_ranges(
+                {"time": (int(low := rng.integers(0, 5_000)), int(low) + 40_000)}
+            )
+            for _ in range(40)
+        ]
+        report = detector.observe(novel)
+        assert report.drifted
+        assert report.new_type_fraction > 0.5
+
+    def test_disappeared_type_detected(self, detector):
+        report = detector.observe(recent_time_queries(50, 6))
+        assert 1 in report.disappeared_types
+        assert report.drifted
+
+    def test_frequency_shift_detected(self, detector):
+        report = detector.observe(recent_time_queries(45, 7) + high_load_queries(5, 8))
+        assert report.frequency_shift > 0.3
+        assert report.drifted
+
+    def test_describe_mentions_reason(self, detector):
+        report = detector.observe(recent_time_queries(50, 9))
+        assert "disappeared" in report.describe()
+
+
+class TestFittingContract:
+    def test_unfitted_detector_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadDriftDetector().observe([Query.from_ranges({"time": (0, 1)})])
+
+    def test_empty_workload_rejected(self, table):
+        with pytest.raises(ValueError):
+            WorkloadDriftDetector().fit(table, Workload([]))
+
+    def test_unlabelled_workload_is_clustered_automatically(self, table):
+        workload = Workload(
+            [q.with_type(None) if False else Query(q.predicates) for q in recent_time_queries(30, 10)]
+        )
+        detector = WorkloadDriftDetector().fit(table, workload)
+        report = detector.observe(recent_time_queries(10, 11))
+        assert not report.drifted

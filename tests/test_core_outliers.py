@@ -1,0 +1,174 @@
+"""Tests for outlier-aware functional mappings (§8 extension, repro.core.outliers)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexBuildError
+from repro.core.outliers import OutlierBoundedMapping
+from repro.stats.correlation import BoundedLinearModel
+
+
+def correlated_with_outliers(
+    num_rows: int = 4_000, num_outliers: int = 12, seed: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tightly correlated (y, x) pairs with a few rows pushed far off the line."""
+    rng = np.random.default_rng(seed)
+    y = rng.uniform(0, 10_000, num_rows)
+    x = 2.5 * y + 100 + rng.normal(0, 5, num_rows)
+    x[:num_outliers] += 50_000
+    return y, x
+
+
+class TestFitting:
+    def test_outliers_are_buffered(self):
+        y, x = correlated_with_outliers(num_outliers=12)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        assert mapping.num_outliers == 12
+
+    def test_clean_data_buffers_nothing_catastrophic(self):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0, 1_000, 2_000)
+        x = 3 * y + rng.normal(0, 1, 2_000)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        # A Gaussian tail may flag a handful of rows, but never more than the cap.
+        assert mapping.num_outliers <= 0.05 * len(y)
+
+    def test_inlier_error_much_tighter_than_plain_model(self):
+        y, x = correlated_with_outliers()
+        plain = BoundedLinearModel.fit(y, x)
+        robust = OutlierBoundedMapping.fit(y, x)
+        assert robust.error_span < plain.error_span / 100
+
+    def test_fraction_cap_limits_buffer(self):
+        y, x = correlated_with_outliers(num_rows=1_000, num_outliers=200)
+        mapping = OutlierBoundedMapping.fit(y, x, max_outlier_fraction=0.02)
+        assert mapping.num_outliers <= 20
+
+    def test_zero_fraction_disables_buffering(self):
+        y, x = correlated_with_outliers()
+        mapping = OutlierBoundedMapping.fit(y, x, max_outlier_fraction=0.0)
+        assert mapping.num_outliers == 0
+        plain = BoundedLinearModel.fit(y, x)
+        assert mapping.error_span == pytest.approx(plain.error_span)
+
+    def test_constant_target_is_handled(self):
+        y = np.arange(100, dtype=np.float64)
+        x = np.full(100, 7.0)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        low, high = mapping.map_range(10, 20)
+        assert low <= 7.0 <= high
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(IndexBuildError):
+            OutlierBoundedMapping.fit(np.array([]), np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(IndexBuildError):
+            OutlierBoundedMapping.fit(np.arange(5), np.arange(6))
+
+    def test_invalid_fraction_rejected(self):
+        y, x = correlated_with_outliers(num_rows=100)
+        with pytest.raises(IndexBuildError):
+            OutlierBoundedMapping.fit(y, x, max_outlier_fraction=1.5)
+
+
+class TestCoveringGuarantee:
+    """Every point with Y in the filter range must have X in the mapped range (§5.2.1)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_ranges_are_covered(self, seed):
+        y, x = correlated_with_outliers(seed=seed)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(25):
+            y_low = float(rng.uniform(0, 9_000))
+            y_high = y_low + float(rng.uniform(10, 1_000))
+            x_low, x_high = mapping.map_range(y_low, y_high)
+            mask = (y >= y_low) & (y <= y_high)
+            assert np.all(x[mask] >= x_low - 1e-9)
+            assert np.all(x[mask] <= x_high + 1e-9)
+
+    def test_outlier_inside_range_widens_it(self):
+        y, x = correlated_with_outliers(num_outliers=1)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        outlier_y, outlier_x = float(y[0]), float(x[0])
+        x_low, x_high = mapping.map_range(outlier_y - 1, outlier_y + 1)
+        assert x_low <= outlier_x <= x_high
+
+    def test_outlier_outside_range_does_not_widen_it(self):
+        y, x = correlated_with_outliers(num_outliers=1)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        outlier_y = float(y[0])
+        # Pick a filter range far away from the single outlier.
+        y_low = outlier_y + 2_000 if outlier_y < 5_000 else outlier_y - 3_000
+        y_high = y_low + 500
+        x_low, x_high = mapping.map_range(y_low, y_high)
+        assert (x_high - x_low) < 2.5 * (y_high - y_low) + 10 * mapping.error_span + 100
+
+
+class TestInterface:
+    def test_predict_matches_inlier_model(self):
+        y, x = correlated_with_outliers()
+        mapping = OutlierBoundedMapping.fit(y, x)
+        assert mapping.predict(100.0) == pytest.approx(mapping.model.predict(100.0))
+
+    def test_size_accounts_for_buffer(self):
+        y, x = correlated_with_outliers(num_outliers=10)
+        mapping = OutlierBoundedMapping.fit(y, x)
+        assert mapping.size_bytes() == mapping.model.size_bytes() + 16 * 10
+
+    def test_relative_error_uses_inlier_span(self):
+        y, x = correlated_with_outliers()
+        mapping = OutlierBoundedMapping.fit(y, x)
+        assert mapping.relative_error(10_000) == pytest.approx(mapping.error_span / 10_000)
+        assert mapping.relative_error(0) == float("inf")
+
+    def test_describe_reports_buffer_size(self):
+        y, x = correlated_with_outliers(num_outliers=7)
+        info = OutlierBoundedMapping.fit(y, x).describe()
+        assert info["num_outliers"] == 7
+        assert info["inlier_error_span"] >= 0
+
+
+class TestGridIntegration:
+    def test_augmented_grid_uses_outlier_aware_mapping(self):
+        from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig
+        from repro.core.skeleton import (
+            FunctionalMappingStrategy,
+            IndependentCDFStrategy,
+            Skeleton,
+        )
+        from repro.query.engine import execute_full_scan
+        from repro.query.query import Query
+        from repro.storage.table import Table
+
+        rng = np.random.default_rng(11)
+        x = rng.integers(0, 10_000, 4_000)
+        y = 3 * x + rng.integers(-20, 21, 4_000)
+        y[:5] += 500_000  # outliers
+        table = Table.from_arrays("t", {"x": x, "y": y})
+        skeleton = Skeleton(
+            {"x": IndependentCDFStrategy(), "y": FunctionalMappingStrategy(target="x")}
+        )
+        config = AugmentedGridConfig(
+            skeleton=skeleton,
+            partitions={"x": 16},
+            outlier_aware_mappings=True,
+            outlier_fraction=0.01,
+        )
+        grid = AugmentedGrid(config)
+        permutation = grid.fit(table)
+        table.reorder(permutation)
+        query = Query.from_ranges({"y": (3_000, 9_000)})
+        ranges = grid.ranges_for_query(query)
+        scanned = sum(len(r) for r in ranges)
+        expected, _ = execute_full_scan(table, query)
+        matched = sum(
+            int(np.sum((table.values("y")[r.start : r.stop] >= 3_000)
+                       & (table.values("y")[r.start : r.stop] <= 9_000)))
+            for r in ranges
+        )
+        assert matched == expected
+        # The outlier buffer keeps the rewritten filter tight: nothing close to
+        # a full scan should be needed for this 20%-selectivity query.
+        assert scanned < table.num_rows * 0.6

@@ -1,0 +1,92 @@
+"""Tests for repro.core.query_types (query-type clustering, §4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query_types import cluster_query_types, queries_by_type
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_arrays(
+        "t",
+        {"a": rng.integers(0, 10_000, 5000), "b": rng.integers(0, 10_000, 5000)},
+    )
+
+
+def make_queries(table: Table, count: int, dims: dict[str, float], seed: int) -> list[Query]:
+    """Queries filtering ``dims`` (dimension -> selectivity) at random positions."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        ranges = {}
+        for dim, selectivity in dims.items():
+            values = table.values(dim)
+            width = int(selectivity * (values.max() - values.min()))
+            low = int(rng.integers(values.min(), max(values.max() - width, values.min() + 1)))
+            ranges[dim] = (low, low + width)
+        queries.append(Query.from_ranges(ranges))
+    return queries
+
+
+class TestClusterQueryTypes:
+    def test_different_dimension_sets_get_different_types(self, table):
+        workload = Workload(
+            make_queries(table, 20, {"a": 0.1}, 1) + make_queries(table, 20, {"b": 0.1}, 2)
+        )
+        labelled = cluster_query_types(table, workload)
+        groups = queries_by_type(labelled)
+        assert len(groups) >= 2
+        for queries in groups.values():
+            dims = {q.filtered_dimensions for q in queries}
+            assert len(dims) == 1  # never mixes dimension sets
+
+    def test_selectivity_separates_types(self, table):
+        narrow = make_queries(table, 30, {"a": 0.01}, 3)
+        wide = make_queries(table, 30, {"a": 0.6}, 4)
+        labelled = cluster_query_types(table, Workload(narrow + wide))
+        types_of_narrow = {q.query_type for q in list(labelled)[:30]}
+        types_of_wide = {q.query_type for q in list(labelled)[30:]}
+        assert types_of_narrow.isdisjoint(types_of_wide)
+
+    def test_similar_queries_share_a_type(self, table):
+        workload = Workload(make_queries(table, 40, {"a": 0.1, "b": 0.1}, 5))
+        labelled = cluster_query_types(table, workload)
+        assert len(set(q.query_type for q in labelled)) == 1
+
+    def test_every_query_gets_a_type(self, table):
+        workload = Workload(
+            make_queries(table, 15, {"a": 0.05}, 6) + make_queries(table, 15, {"a": 0.4, "b": 0.2}, 7)
+        )
+        labelled = cluster_query_types(table, workload)
+        assert all(q.query_type is not None for q in labelled)
+        assert len(labelled) == len(workload)
+
+    def test_empty_workload(self, table):
+        assert len(cluster_query_types(table, Workload([]))) == 0
+
+    def test_no_filter_queries_form_single_type(self, table):
+        workload = Workload([Query(predicates=()) for _ in range(5)])
+        labelled = cluster_query_types(table, workload)
+        assert len({q.query_type for q in labelled}) == 1
+
+
+class TestQueriesByType:
+    def test_unlabelled_go_to_minus_one(self):
+        groups = queries_by_type(Workload([Query.from_ranges({"a": (0, 1)})]))
+        assert list(groups) == [-1]
+
+    def test_grouping(self):
+        workload = Workload(
+            [
+                Query.from_ranges({"a": (0, 1)}, query_type=0),
+                Query.from_ranges({"a": (2, 3)}, query_type=1),
+                Query.from_ranges({"a": (4, 5)}, query_type=0),
+            ]
+        )
+        groups = queries_by_type(workload)
+        assert len(groups[0]) == 2 and len(groups[1]) == 1

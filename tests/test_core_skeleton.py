@@ -1,0 +1,150 @@
+"""Tests for repro.core.skeleton (partitioning strategies and their restrictions)."""
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.core.skeleton import (
+    ConditionalCDFStrategy,
+    FunctionalMappingStrategy,
+    IndependentCDFStrategy,
+    Skeleton,
+)
+
+
+class TestSkeletonValidation:
+    def test_all_independent(self):
+        skeleton = Skeleton.all_independent(["x", "y", "z"])
+        assert skeleton.grid_dimensions == ["x", "y", "z"]
+        assert skeleton.mapped_dimensions == []
+
+    def test_paper_example_skeleton(self):
+        # [X, Y|X, Z] from Table 2.
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": ConditionalCDFStrategy(base="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+        assert skeleton.num_conditional_cdfs == 1
+        assert skeleton.grid_dimensions == ["x", "y", "z"]
+
+    def test_mapping_removes_dimension_from_grid(self):
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": FunctionalMappingStrategy(target="x"),
+            }
+        )
+        assert skeleton.grid_dimensions == ["x"]
+        assert skeleton.mapped_dimensions == ["y"]
+        assert skeleton.num_functional_mappings == 1
+
+    def test_target_must_not_be_mapped(self):
+        # [X->Z, Y|X, Z] style violation: X is referenced but not independent.
+        with pytest.raises(OptimizationError):
+            Skeleton(
+                {
+                    "x": FunctionalMappingStrategy(target="z"),
+                    "y": ConditionalCDFStrategy(base="x"),
+                    "z": IndependentCDFStrategy(),
+                }
+            )
+
+    def test_base_must_not_be_dependent(self):
+        with pytest.raises(OptimizationError):
+            Skeleton(
+                {
+                    "x": ConditionalCDFStrategy(base="y"),
+                    "y": ConditionalCDFStrategy(base="x"),
+                }
+            )
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(OptimizationError):
+            Skeleton({"x": FunctionalMappingStrategy(target="x")})
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(OptimizationError):
+            Skeleton({"x": ConditionalCDFStrategy(base="missing")})
+
+    def test_strategy_for_unknown_dimension(self):
+        skeleton = Skeleton.all_independent(["x"])
+        with pytest.raises(OptimizationError):
+            skeleton.strategy_for("y")
+
+
+class TestSkeletonOperations:
+    def test_describe_matches_table2_notation(self):
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": ConditionalCDFStrategy(base="x"),
+                "z": FunctionalMappingStrategy(target="x"),
+            }
+        )
+        description = skeleton.describe()
+        assert "y|x" in description and "z->x" in description
+
+    def test_replace(self):
+        skeleton = Skeleton.all_independent(["x", "y"])
+        replaced = skeleton.replace("y", ConditionalCDFStrategy(base="x"))
+        assert replaced != skeleton
+        assert isinstance(skeleton.strategy_for("y"), IndependentCDFStrategy)
+
+    def test_equality_and_hash(self):
+        a = Skeleton.all_independent(["x", "y"])
+        b = Skeleton.all_independent(["x", "y"])
+        assert a == b and hash(a) == hash(b)
+        assert a != a.replace("y", FunctionalMappingStrategy(target="x"))
+
+    def test_candidate_strategies_respect_restrictions(self):
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": FunctionalMappingStrategy(target="x"),
+                "z": IndependentCDFStrategy(),
+            }
+        )
+        # Candidates for z may reference x or z's other independent partner,
+        # but never the mapped dimension y.
+        candidates = skeleton.candidate_strategies("z")
+        referenced = {c.references for c in candidates if c.references}
+        assert "y" not in referenced
+        assert "x" in referenced
+
+
+class TestOneHopNeighbours:
+    def test_all_neighbours_valid_and_distinct(self):
+        skeleton = Skeleton.all_independent(["x", "y", "z"])
+        neighbours = list(skeleton.one_hop_neighbours())
+        assert len(neighbours) == len(set(neighbours))
+        assert skeleton not in neighbours
+        assert len(neighbours) > 0
+
+    def test_neighbour_count_for_three_independent_dims(self):
+        # Each of 3 dims can switch to 2 strategies × 2 partners = 4 options.
+        skeleton = Skeleton.all_independent(["x", "y", "z"])
+        assert len(list(skeleton.one_hop_neighbours())) == 12
+
+    def test_neighbours_differ_in_exactly_one_dimension(self):
+        skeleton = Skeleton.all_independent(["x", "y", "z"])
+        for neighbour in skeleton.one_hop_neighbours():
+            differences = [
+                dim
+                for dim in skeleton.dimensions
+                if skeleton.strategy_for(dim) != neighbour.strategy_for(dim)
+            ]
+            assert len(differences) == 1
+
+    def test_invalid_neighbours_skipped(self):
+        # When y is mapped to x, x cannot itself become mapped or conditional.
+        skeleton = Skeleton(
+            {
+                "x": IndependentCDFStrategy(),
+                "y": FunctionalMappingStrategy(target="x"),
+            }
+        )
+        for neighbour in skeleton.one_hop_neighbours():
+            # Every yielded neighbour must satisfy the validation rules.
+            assert isinstance(neighbour, Skeleton)

@@ -1,0 +1,143 @@
+"""Tests for repro.core.skew (skew measure, skew tree, split selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.skew import (
+    SkewTree,
+    build_type_histograms,
+    evaluate_split_dimension,
+    mass_emd,
+    range_skew,
+)
+
+
+class TestMassEmd:
+    def test_uniform_mass_has_zero_skew(self):
+        assert mass_emd(np.full(16, 2.0)) == pytest.approx(0.0)
+
+    def test_concentrated_mass_has_high_skew(self):
+        concentrated = np.zeros(16)
+        concentrated[0] = 16.0
+        assert mass_emd(concentrated) > mass_emd(np.full(16, 1.0))
+
+    def test_single_bin_is_zero(self):
+        assert mass_emd(np.array([5.0])) == 0.0
+
+    def test_scales_with_total_mass(self):
+        base = np.zeros(8)
+        base[0] = 1.0
+        assert mass_emd(base * 10) == pytest.approx(10 * mass_emd(base))
+
+    def test_bounded_by_total_mass(self):
+        mass = np.zeros(32)
+        mass[0] = 100.0
+        assert mass_emd(mass) <= 100.0
+
+
+class TestRangeSkew:
+    def test_sums_over_types(self):
+        type_a = np.zeros(8)
+        type_a[0] = 4.0
+        type_b = np.zeros(8)
+        type_b[7] = 4.0
+        combined = range_skew([type_a, type_b], 0, 8)
+        assert combined == pytest.approx(mass_emd(type_a) + mass_emd(type_b))
+
+    def test_types_do_not_cancel(self):
+        # Together the two types look uniform, but per-type skew is large: this
+        # is exactly why the paper clusters queries into types (§4.3.1).
+        type_a = np.array([4.0, 4.0, 0.0, 0.0])
+        type_b = np.array([0.0, 0.0, 4.0, 4.0])
+        merged = type_a + type_b
+        assert range_skew([merged], 0, 4) == pytest.approx(0.0)
+        assert range_skew([type_a, type_b], 0, 4) > 0.5
+
+    def test_single_bin_range_is_zero(self):
+        assert range_skew([np.array([3.0, 1.0])], 1, 2) == 0.0
+
+
+class TestSkewTree:
+    def _skewed_histogram(self) -> np.ndarray:
+        # Queries concentrated in the last quarter of a 32-bin domain.
+        mass = np.zeros(32)
+        mass[24:] = 10.0
+        return mass
+
+    def test_total_skew_positive_for_skewed_mass(self):
+        tree = SkewTree([self._skewed_histogram()], np.linspace(0, 320, 33))
+        assert tree.total_skew > 0
+
+    def test_best_split_reduces_skew(self):
+        tree = SkewTree([self._skewed_histogram()], np.linspace(0, 320, 33))
+        splits, residual = tree.best_split()
+        assert residual < tree.total_skew
+        assert len(splits) >= 1
+
+    def test_split_value_near_skew_boundary(self):
+        tree = SkewTree([self._skewed_histogram()], np.linspace(0, 320, 33))
+        splits, _ = tree.best_split()
+        # The mass boundary is at bin 24 → value 240.
+        assert any(abs(split - 240) <= 20 for split in splits)
+
+    def test_uniform_mass_produces_no_split(self):
+        tree = SkewTree([np.full(32, 3.0)], np.linspace(0, 32, 33))
+        splits, residual = tree.best_split()
+        assert residual == pytest.approx(0.0, abs=1e-9)
+        assert splits == []
+
+    def test_cover_is_disjoint_and_complete(self):
+        tree = SkewTree([self._skewed_histogram()], np.linspace(0, 320, 33))
+        cover = tree.optimal_cover()
+        assert cover[0].first == 0 and cover[-1].last == 32
+        for left, right in zip(cover, cover[1:]):
+            assert left.last == right.first
+
+    def test_mismatched_histograms_rejected(self):
+        with pytest.raises(ValueError):
+            SkewTree([np.zeros(4), np.zeros(8)], np.linspace(0, 1, 5))
+
+    def test_edges_length_validated(self):
+        with pytest.raises(ValueError):
+            SkewTree([np.zeros(4)], np.linspace(0, 1, 3))
+
+
+class TestBuildTypeHistograms:
+    def test_shared_edges_across_types(self):
+        histograms, edges = build_type_histograms(
+            {0: [(0, 10)], 1: [(50, 60)]}, 0, 100, num_bins=10
+        )
+        assert len(histograms) == 2
+        assert len(edges) == 11
+
+    def test_unique_value_bins(self):
+        histograms, edges = build_type_histograms(
+            {0: [(1, 1)]}, 0, 5, num_bins=128, unique_values=np.array([1, 2, 3])
+        )
+        assert len(edges) == 4  # one bin per unique value inside [0, 5)
+
+
+class TestEvaluateSplitDimension:
+    def test_skewed_queries_yield_reduction(self):
+        per_type = {0: [(900.0, 999.0)] * 20, 1: [(0.0, 999.0)] * 20}
+        candidate = evaluate_split_dimension("time", per_type, 0.0, 1000.0)
+        assert candidate.dimension == "time"
+        assert candidate.skew_reduction > 0
+
+    def test_uniform_queries_yield_no_split(self):
+        rng = np.random.default_rng(0)
+        intervals = []
+        for _ in range(64):
+            low = float(rng.uniform(0, 900))
+            intervals.append((low, low + 100))
+        candidate = evaluate_split_dimension("x", {0: intervals}, 0.0, 1000.0)
+        assert candidate.skew_reduction < 0.05 * 64
+
+    def test_no_queries(self):
+        candidate = evaluate_split_dimension("x", {}, 0.0, 100.0)
+        assert candidate.split_values == ()
+        assert candidate.skew_reduction == 0.0
+
+    def test_empty_domain(self):
+        candidate = evaluate_split_dimension("x", {0: [(0, 1)]}, 5.0, 5.0)
+        assert candidate.split_values == ()

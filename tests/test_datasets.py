@@ -1,0 +1,139 @@
+"""Tests for the dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    load_dataset,
+    make_correlated_dataset,
+    make_perfmon_dataset,
+    make_stocks_dataset,
+    make_taxi_dataset,
+    make_tpch_dataset,
+    make_uniform_dataset,
+    synthetic_scaling_workload,
+)
+from repro.datasets.tpch import tpch_shifted_templates, tpch_templates
+from repro.stats.correlation import monotonic_correlation
+
+
+class TestRegistry:
+    def test_all_four_datasets_registered(self):
+        assert set(DATASETS) == {"tpch", "taxi", "perfmon", "stocks"}
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_load_dataset_matches_paper_schema(self, name):
+        table, workload = load_dataset(name, num_rows=3_000, queries_per_type=5)
+        spec = DATASETS[name]
+        assert table.num_rows == 3_000
+        assert table.num_dimensions >= spec.paper_dimensions - 1
+        assert len(workload) == spec.paper_query_types * 5
+        assert len(workload.query_types()) == spec.paper_query_types
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("unknown")
+
+    def test_deterministic_generation(self):
+        table_a, workload_a = load_dataset("stocks", num_rows=2_000, queries_per_type=3)
+        table_b, workload_b = load_dataset("stocks", num_rows=2_000, queries_per_type=3)
+        assert np.array_equal(table_a.values("close"), table_b.values("close"))
+        assert workload_a[0].filters() == workload_b[0].filters()
+
+    def test_different_seeds_differ(self):
+        table_a, _ = load_dataset("taxi", num_rows=2_000, seed=1)
+        table_b, _ = load_dataset("taxi", num_rows=2_000, seed=2)
+        assert not np.array_equal(table_a.values("fare"), table_b.values("fare"))
+
+
+class TestDocumentedCorrelations:
+    def test_tpch_date_correlations(self):
+        table = make_tpch_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("shipdate"), table.values("receiptdate"))
+        assert rho > 0.95
+
+    def test_tpch_price_quantity_correlation(self):
+        table = make_tpch_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("quantity"), table.values("extendedprice"))
+        assert rho > 0.3
+
+    def test_taxi_fare_distance_correlation(self):
+        table = make_taxi_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("trip_distance"), table.values("fare"))
+        assert rho > 0.9
+
+    def test_taxi_pickup_dropoff_correlation(self):
+        table = make_taxi_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("pickup_time"), table.values("dropoff_time"))
+        assert rho > 0.99
+
+    def test_perfmon_load_correlation(self):
+        table = make_perfmon_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("load_1m"), table.values("load_5m"))
+        assert rho > 0.8
+
+    def test_stocks_open_close_correlation(self):
+        table = make_stocks_dataset(num_rows=10_000)
+        rho = monotonic_correlation(table.values("open"), table.values("close"))
+        assert rho > 0.95
+
+    def test_taxi_passenger_count_skew(self):
+        table = make_taxi_dataset(num_rows=10_000)
+        counts = np.bincount(table.values("passenger_count"))
+        assert counts[1] > 0.6 * table.num_rows  # most trips are single-passenger
+
+
+class TestSyntheticDatasets:
+    def test_uniform_dimensions_uncorrelated(self):
+        table = make_uniform_dataset(num_rows=10_000, num_dimensions=6)
+        assert table.num_dimensions == 6
+        rho = monotonic_correlation(table.values("d0"), table.values("d3"))
+        assert abs(rho) < 0.05
+
+    def test_correlated_dataset_pairs(self):
+        table = make_correlated_dataset(num_rows=10_000, num_dimensions=8)
+        # d4 is strongly correlated with d0, d5 loosely with d1.
+        assert monotonic_correlation(table.values("d0"), table.values("d4")) > 0.99
+        assert monotonic_correlation(table.values("d1"), table.values("d5")) > 0.8
+
+    def test_correlated_dataset_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            make_correlated_dataset(num_dimensions=1)
+
+    @pytest.mark.parametrize("dims", [4, 8, 12])
+    def test_dimension_counts(self, dims):
+        table = make_correlated_dataset(num_rows=2_000, num_dimensions=dims)
+        assert table.num_dimensions == dims
+
+    def test_scaling_workload_has_four_types(self):
+        table = make_correlated_dataset(num_rows=5_000, num_dimensions=8)
+        workload = synthetic_scaling_workload(table, queries_per_type=10)
+        assert len(workload.query_types()) == 4
+        assert len(workload) == 40
+
+    def test_earlier_dimensions_more_selective(self):
+        table = make_uniform_dataset(num_rows=20_000, num_dimensions=8)
+        workload = synthetic_scaling_workload(table, queries_per_type=20)
+        from repro.query.selectivity import average_dimension_selectivity
+
+        sel_first = average_dimension_selectivity(
+            table, [q for q in workload if q.predicate_for("d0")], "d0"
+        )
+        sel_last_filtered = average_dimension_selectivity(
+            table, [q for q in workload if q.predicate_for("d3")], "d3"
+        )
+        assert sel_first < sel_last_filtered
+
+
+class TestTpchWorkloads:
+    def test_shifted_templates_differ_from_original(self):
+        original = {t.name for t in tpch_templates()}
+        shifted = {t.name for t in tpch_shifted_templates()}
+        assert original.isdisjoint(shifted)
+
+    def test_templates_reference_existing_columns(self):
+        table = make_tpch_dataset(num_rows=1_000)
+        for template in tpch_templates() + tpch_shifted_templates():
+            for dim in template.filters:
+                assert dim in table

@@ -1,0 +1,60 @@
+"""Tests for the EXPLAIN-style plan reporting on the clustered-index contract."""
+
+import pytest
+
+from repro.baselines import FullScanIndex, KdTreeIndex, ZOrderIndex
+from repro.common.errors import IndexBuildError
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.query.query import Query
+
+
+INDEXES = {
+    "full-scan": FullScanIndex,
+    "kd-tree": lambda: KdTreeIndex(page_size=256),
+    "z-order": lambda: ZOrderIndex(page_size=256),
+    "tsunami": lambda: TsunamiIndex(TsunamiConfig(optimizer_iterations=1)),
+}
+
+
+class TestExplain:
+    @pytest.mark.parametrize("name", list(INDEXES))
+    def test_plan_counters_match_execution(self, name, fresh_table, fresh_workload):
+        index = INDEXES[name]()
+        index.build(fresh_table, fresh_workload)
+        query = list(fresh_workload)[0]
+        plan = index.explain(query)
+        result = index.execute(query)
+        assert plan["cell_ranges"] == result.stats.cell_ranges
+        assert plan["rows_to_scan"] >= result.stats.points_scanned
+        assert 0.0 <= plan["table_fraction_scanned"] <= 1.0
+        assert plan["index"] == index.name
+
+    def test_full_scan_plans_the_whole_table(self, fresh_table, fresh_workload):
+        index = FullScanIndex().build(fresh_table, fresh_workload)
+        plan = index.explain(Query.from_ranges({"x": (0, 10)}))
+        assert plan["rows_to_scan"] == fresh_table.num_rows
+        assert plan["table_fraction_scanned"] == pytest.approx(1.0)
+
+    def test_selective_query_scans_a_small_fraction(self, fresh_table, fresh_workload):
+        index = TsunamiIndex(TsunamiConfig(optimizer_iterations=1)).build(
+            fresh_table, fresh_workload
+        )
+        plan = index.explain(list(fresh_workload)[0])
+        assert plan["table_fraction_scanned"] < 0.5
+
+    def test_exact_rows_never_exceed_rows_to_scan(self, fresh_table, fresh_workload):
+        index = KdTreeIndex(page_size=256).build(fresh_table, fresh_workload)
+        for query in list(fresh_workload)[:10]:
+            plan = index.explain(query)
+            assert 0 <= plan["exact_rows"] <= plan["rows_to_scan"]
+
+    def test_explain_before_build_raises(self):
+        with pytest.raises(IndexBuildError):
+            KdTreeIndex().explain(Query.from_ranges({"x": (0, 1)}))
+
+    def test_filtered_dimensions_and_aggregate_reported(self, fresh_table, fresh_workload):
+        index = ZOrderIndex(page_size=256).build(fresh_table, fresh_workload)
+        query = Query.from_ranges({"x": (0, 100), "z": (0, 10)}, aggregate="sum", aggregate_column="y")
+        plan = index.explain(query)
+        assert set(plan["filtered_dimensions"]) == {"x", "z"}
+        assert plan["aggregate"] == "sum"

@@ -1,0 +1,80 @@
+"""Integration tests: realistic dataset/workload pairs through the full stack.
+
+These are the closest tests to the paper's evaluation: every index must return
+exactly the same answers as a full scan on every generated dataset, and the
+learned indexes must show the qualitative advantages the paper claims
+(Tsunami scans no more than Flood on skewed/correlated workloads).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FloodIndex, KdTreeIndex
+from repro.bench.harness import expected_answers, run_comparison
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.datasets import load_dataset, make_correlated_dataset, synthetic_scaling_workload
+
+FAST = dict(optimizer_iterations=1, optimizer_sample_rows=3_000)
+
+
+@pytest.mark.parametrize("dataset", ["tpch", "taxi", "perfmon", "stocks"])
+def test_all_indexes_agree_with_full_scan(dataset):
+    table, workload = load_dataset(dataset, num_rows=8_000, queries_per_type=6)
+    factories = {
+        "kd-tree": lambda: KdTreeIndex(page_size=1024),
+        "flood": lambda: FloodIndex(optimizer_iterations=1, sample_rows=3_000),
+        "tsunami": lambda: TsunamiIndex(TsunamiConfig(**FAST)),
+    }
+    measurements = run_comparison(table, workload, factories, dataset_name=dataset)
+    for measurement in measurements:
+        assert measurement.correct, f"{measurement.index_name} wrong on {dataset}"
+
+
+def test_tsunami_beats_flood_on_scanned_points_for_skewed_taxi():
+    table, workload = load_dataset("taxi", num_rows=15_000, queries_per_type=12)
+    expected = expected_answers(table, workload)
+    flood = FloodIndex(optimizer_iterations=2, sample_rows=5_000)
+    flood.build(table, workload)
+    _, flood_stats = flood.execute_workload(workload)
+
+    tsunami = TsunamiIndex(TsunamiConfig(optimizer_iterations=2, optimizer_sample_rows=5_000))
+    tsunami.build(table, workload)
+    results, tsunami_stats = tsunami.execute_workload(workload)
+
+    assert [r.value for r in results] == expected
+    assert tsunami_stats.points_scanned <= flood_stats.points_scanned
+
+
+def test_augmented_grid_exploits_correlation_on_synthetic_data():
+    table = make_correlated_dataset(num_rows=15_000, num_dimensions=6, seed=3)
+    workload = synthetic_scaling_workload(table, queries_per_type=15, seed=4)
+    expected = expected_answers(table, workload)
+
+    flood = FloodIndex(optimizer_iterations=2, sample_rows=5_000)
+    flood.build(table, workload)
+    _, flood_stats = flood.execute_workload(workload)
+
+    # Default Tsunami configuration (the one the benchmarks use).
+    tsunami = TsunamiIndex(TsunamiConfig(optimizer_sample_rows=5_000))
+    tsunami.build(table, workload)
+    results, tsunami_stats = tsunami.execute_workload(workload)
+
+    assert [r.value for r in results] == expected
+    assert tsunami_stats.points_scanned <= flood_stats.points_scanned * 1.05
+
+
+def test_rebuilding_on_same_table_is_idempotent():
+    table, workload = load_dataset("stocks", num_rows=6_000, queries_per_type=5)
+    expected = expected_answers(table, workload)
+    index = TsunamiIndex(TsunamiConfig(**FAST))
+    index.build(table, workload)
+    index.build(table, workload)  # rebuild over the already-clustered table
+    assert [index.execute(q).value for q in workload] == expected
+
+
+def test_workload_statistics_are_in_paper_selectivity_band():
+    table, workload = load_dataset("tpch", num_rows=20_000, queries_per_type=10)
+    stats = workload.statistics(table)
+    # The paper's workloads have average query selectivities below ~1.5%.
+    assert stats.avg_selectivity < 0.05
+    assert stats.num_query_types == 5

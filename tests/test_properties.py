@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Each property is an invariant the paper's design relies on:
+
+* CDF models are monotone and produce equal-depth partitions.
+* The EMD is a metric-like quantity (non-negative, zero iff identical,
+  symmetric) and query-histogram mass is conserved.
+* The functional mapping's error bounds are a hard covering guarantee.
+* Every index returns exactly the full-scan answer on arbitrary data and
+  arbitrary queries.
+* Clustered reorganization never loses or duplicates rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.baselines import KdTreeIndex, ZOrderIndex
+from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig
+from repro.core.skeleton import Skeleton
+from repro.core.skew import mass_emd
+from repro.query.engine import execute_full_scan
+from repro.query.query import Query
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.correlation import BoundedLinearModel
+from repro.stats.emd import earth_movers_distance
+from repro.stats.histogram import query_histogram
+from repro.storage.scan import RowRange, coalesce_ranges
+from repro.storage.table import Table
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=100, deadline=None)
+
+int_values = st.integers(min_value=-(10**6), max_value=10**6)
+value_arrays = npst.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=int_values,
+)
+mass_arrays = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestCdfProperties:
+    @FAST
+    @given(values=value_arrays, probes=st.lists(int_values, min_size=2, max_size=10))
+    def test_monotone_and_bounded(self, values, probes):
+        cdf = EmpiricalCDF(values)
+        ordered = sorted(probes)
+        evaluations = [cdf.evaluate(float(p)) for p in ordered]
+        assert all(0.0 <= e <= 1.0 for e in evaluations)
+        assert all(a <= b + 1e-12 for a, b in zip(evaluations, evaluations[1:]))
+
+    @FAST
+    @given(values=value_arrays, partitions=st.integers(min_value=1, max_value=32))
+    def test_partition_ids_in_range_and_monotone(self, values, partitions):
+        cdf = EmpiricalCDF(values)
+        ids = cdf.partitions_of(np.sort(values), partitions)
+        assert ids.min() >= 0 and ids.max() < partitions
+        assert np.all(np.diff(ids) >= 0)
+
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        partitions=st.integers(min_value=2, max_value=16),
+    )
+    def test_partitions_are_equal_depth_on_continuous_data(self, seed, partitions):
+        values = np.random.default_rng(seed).integers(0, 10**9, 5_000)
+        cdf = EmpiricalCDF(values)
+        counts = np.bincount(cdf.partitions_of(values, partitions), minlength=partitions)
+        assert counts.max() <= 2.0 * counts.mean() + 1
+
+
+class TestEmdProperties:
+    @FAST
+    @given(mass=mass_arrays)
+    def test_non_negative_and_zero_on_self(self, mass):
+        assert earth_movers_distance(mass, mass) == pytest.approx(0.0, abs=1e-9)
+        assert mass_emd(mass) >= 0.0
+
+    @FAST
+    @given(p=mass_arrays, seed=st.integers(0, 1000))
+    def test_symmetry(self, p, seed):
+        q = np.random.default_rng(seed).permutation(p)
+        assert earth_movers_distance(p, q) == pytest.approx(
+            earth_movers_distance(q, p), rel=1e-9, abs=1e-12
+        )
+
+    @FAST
+    @given(mass=mass_arrays)
+    def test_mass_emd_bounded_by_total(self, mass):
+        assert mass_emd(mass) <= mass.sum() + 1e-9
+
+
+class TestQueryHistogramProperties:
+    @FAST
+    @given(
+        intervals=st.lists(
+            st.tuples(st.floats(0, 999, allow_nan=False), st.floats(0, 999, allow_nan=False)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        bins=st.integers(min_value=1, max_value=64),
+    )
+    def test_total_mass_conserved(self, intervals, bins):
+        histogram = query_histogram(intervals, 0.0, 1000.0, num_bins=bins)
+        assert histogram.total == pytest.approx(len(intervals), abs=1e-6)
+
+
+class TestFunctionalMappingProperties:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10_000),
+        noise=st.integers(min_value=0, max_value=5_000),
+        low=st.integers(min_value=0, max_value=90_000),
+        width=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_error_bounds_always_cover(self, seed, noise, low, width):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 100_000, 2_000)
+        x = y * 2 + rng.integers(-noise, noise + 1, 2_000)
+        model = BoundedLinearModel.fit(mapped_values=y, target_values=x)
+        high = low + width
+        mask = (y >= low) & (y <= high)
+        if not mask.any():
+            return
+        x_low, x_high = model.map_range(float(low), float(high))
+        assert x[mask].min() >= x_low - 1e-6
+        assert x[mask].max() <= x_high + 1e-6
+
+
+class TestCoalesceProperties:
+    @FAST
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 200)).map(
+                lambda pair: RowRange(pair[0], pair[0] + pair[1])
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_coalesced_ranges_cover_same_rows(self, ranges):
+        covered = set()
+        for row_range in ranges:
+            covered.update(range(row_range.start, row_range.stop))
+        merged = coalesce_ranges(ranges)
+        merged_covered = set()
+        for row_range in merged:
+            merged_covered.update(range(row_range.start, row_range.stop))
+        assert merged_covered == covered
+        # Merged ranges are disjoint and sorted.
+        for left, right in zip(merged, merged[1:]):
+            assert left.stop <= right.start
+
+
+class TestReorderProperties:
+    @SLOW
+    @given(seed=st.integers(0, 10_000))
+    def test_permutation_preserves_multiset(self, seed):
+        rng = np.random.default_rng(seed)
+        table = Table.from_arrays(
+            "t", {"a": rng.integers(0, 100, 500), "b": rng.integers(0, 100, 500)}
+        )
+        before = sorted(zip(table.values("a").tolist(), table.values("b").tolist()))
+        table.reorder(rng.permutation(500))
+        after = sorted(zip(table.values("a").tolist(), table.values("b").tolist()))
+        assert before == after
+
+
+class TestIndexCorrectnessProperties:
+    @SLOW
+    @given(
+        seed=st.integers(0, 5_000),
+        query_seed=st.integers(0, 5_000),
+    )
+    def test_indexes_match_full_scan_on_random_data(self, seed, query_seed):
+        rng = np.random.default_rng(seed)
+        table = Table.from_arrays(
+            "rand",
+            {
+                "a": rng.integers(0, 1_000, 3_000),
+                "b": (rng.integers(0, 1_000, 3_000) * 3 + rng.integers(0, 30, 3_000)),
+                "c": rng.integers(0, 10, 3_000),
+            },
+        )
+        query_rng = np.random.default_rng(query_seed)
+        queries = []
+        for _ in range(5):
+            low_a = int(query_rng.integers(0, 900))
+            low_b = int(query_rng.integers(0, 2_800))
+            queries.append(
+                Query.from_ranges(
+                    {"a": (low_a, low_a + int(query_rng.integers(1, 200))),
+                     "b": (low_b, low_b + int(query_rng.integers(1, 500)))}
+                )
+            )
+        expected = [execute_full_scan(table, q)[0] for q in queries]
+
+        kd = KdTreeIndex(page_size=256)
+        kd.build(table, None)
+        assert [kd.execute(q).value for q in queries] == expected
+
+        zo = ZOrderIndex(page_size=256)
+        zo.build(table, None)
+        assert [zo.execute(q).value for q in queries] == expected
+
+    @SLOW
+    @given(
+        seed=st.integers(0, 5_000),
+        px=st.integers(1, 12),
+        py=st.integers(1, 12),
+    )
+    def test_augmented_grid_matches_full_scan(self, seed, px, py):
+        rng = np.random.default_rng(seed)
+        table = Table.from_arrays(
+            "g",
+            {
+                "x": rng.integers(0, 10_000, 2_000),
+                "y": rng.integers(0, 10_000, 2_000),
+            },
+        )
+        grid = AugmentedGrid(
+            AugmentedGridConfig(
+                skeleton=Skeleton.all_independent(["x", "y"]),
+                partitions={"x": px, "y": py},
+            )
+        )
+        permutation = grid.fit(table)
+        table.reorder(permutation)
+        query = Query.from_ranges({"x": (1_000, 4_000), "y": (2_000, 9_000)})
+        expected, _ = execute_full_scan(table, query)
+        from repro.storage.scan import ScanExecutor
+
+        value, _ = ScanExecutor(table).execute(
+            grid.ranges_for_query(query), query.filters(), "count", None
+        )
+        assert value == expected

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the §8 extension modules.
+
+* The outlier-aware functional mapping keeps the hard covering guarantee of
+  §5.2.1 no matter how the data or the buffered fraction look.
+* Categorical reordering is always a permutation of the dictionary codes, and
+  rewritten equality queries return exactly the original answer.
+* The delta-buffered index always agrees with a full scan over (table +
+  pending inserts), for any insert sequence and merge threshold.
+* The SQL front-end round-trips arbitrary conjunctive range conditions into
+  queries that match a hand-built reference query.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.baselines import KdTreeIndex
+from repro.core.categorical import CategoricalReordering
+from repro.core.delta import DeltaBufferedIndex
+from repro.core.outliers import OutlierBoundedMapping
+from repro.query.engine import execute_full_scan
+from repro.query.predicates import EqualityPredicate
+from repro.query.query import Query
+from repro.query.sql import parse_query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+SLOW = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=60, deadline=None)
+
+float_arrays = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=300),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestOutlierMappingProperties:
+    @SLOW
+    @given(
+        y=float_arrays,
+        noise_seed=st.integers(min_value=0, max_value=2**16),
+        fraction=st.floats(min_value=0.0, max_value=0.2),
+        window=st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_covering_guarantee_always_holds(self, y, noise_seed, fraction, window):
+        rng = np.random.default_rng(noise_seed)
+        x = 1.7 * y + rng.normal(0, 100, y.size)
+        # Corrupt a few rows arbitrarily badly.
+        corrupt = rng.random(y.size) < 0.05
+        x[corrupt] += rng.uniform(-1e7, 1e7, int(corrupt.sum()))
+        mapping = OutlierBoundedMapping.fit(y, x, max_outlier_fraction=fraction)
+        y_low = float(rng.uniform(y.min(), y.max()))
+        y_high = y_low + window
+        x_low, x_high = mapping.map_range(y_low, y_high)
+        mask = (y >= y_low) & (y <= y_high)
+        assert np.all(x[mask] >= x_low - 1e-6)
+        assert np.all(x[mask] <= x_high + 1e-6)
+
+    @SLOW
+    @given(y=float_arrays, fraction=st.floats(min_value=0.0, max_value=0.5))
+    def test_buffer_never_exceeds_fraction(self, y, fraction):
+        rng = np.random.default_rng(7)
+        x = -3.0 * y + rng.normal(0, 1, y.size)
+        mapping = OutlierBoundedMapping.fit(y, x, max_outlier_fraction=fraction)
+        assert mapping.num_outliers <= int(np.floor(fraction * y.size))
+
+
+def categorical_fixture(codes: list[int]) -> tuple[Table, Workload]:
+    values = [f"value_{code:02d}" for code in codes]
+    table = Table.from_dict("cat", {"mode": values, "other": list(range(len(values)))})
+    num_values = len(table.column("mode").dictionary)
+    rng = np.random.default_rng(13)
+    queries = []
+    for _ in range(12):
+        low = int(rng.integers(0, num_values))
+        high = int(rng.integers(low, num_values))
+        queries.append(Query.from_ranges({"mode": (low, high)}))
+    return table, Workload(queries, name="cat")
+
+
+class TestCategoricalProperties:
+    @SLOW
+    @given(codes=st.lists(st.integers(min_value=0, max_value=20), min_size=5, max_size=200))
+    def test_reordering_is_a_permutation(self, codes):
+        table, workload = categorical_fixture(codes)
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        assert sorted(reordering.new_order.tolist()) == list(range(reordering.num_values))
+        assert np.array_equal(
+            reordering.new_order[reordering.old_to_new], np.arange(reordering.num_values)
+        )
+
+    @SLOW
+    @given(
+        codes=st.lists(st.integers(min_value=0, max_value=15), min_size=5, max_size=150),
+        probe=st.integers(min_value=0, max_value=15),
+    )
+    def test_equality_queries_survive_reordering(self, codes, probe):
+        table, workload = categorical_fixture(codes)
+        reordering = CategoricalReordering.fit(table, "mode", workload)
+        reordered_table = reordering.apply_to_table(table)
+        dictionary = table.column("mode").dictionary
+        probe_code = probe % len(dictionary)
+        query = Query(predicates=(EqualityPredicate("mode", probe_code),))
+        expected, _ = execute_full_scan(table, query)
+        actual, _ = execute_full_scan(reordered_table, reordering.rewrite_query(query))
+        assert actual == expected
+
+
+class TestDeltaBufferProperties:
+    @SLOW
+    @given(
+        inserts=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9_999),
+                st.integers(min_value=0, max_value=999),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        threshold=st.integers(min_value=5, max_value=50),
+        query_low=st.integers(min_value=0, max_value=9_000),
+    )
+    def test_count_matches_reference_after_any_insert_sequence(
+        self, inserts, threshold, query_low
+    ):
+        rng = np.random.default_rng(5)
+        base = Table.from_arrays(
+            "base",
+            {
+                "x": rng.integers(0, 10_000, 800),
+                "z": rng.integers(0, 1_000, 800),
+            },
+        )
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=128), merge_threshold=threshold)
+        index.build(base, None)
+        for x_value, z_value in inserts:
+            index.insert({"x": x_value, "z": z_value})
+
+        all_x = np.concatenate(
+            [base.values("x"), np.array([x for x, _ in inserts], dtype=np.int64)]
+        ) if inserts else base.values("x")
+        query = Query.from_ranges({"x": (query_low, query_low + 800)})
+        expected = int(np.sum((all_x >= query_low) & (all_x <= query_low + 800)))
+        assert index.execute(query).value == expected
+
+
+class TestSqlProperties:
+    @FAST
+    @given(
+        low=st.integers(min_value=0, max_value=9_000),
+        width=st.integers(min_value=0, max_value=3_000),
+        z_cap=st.integers(min_value=0, max_value=999),
+    )
+    def test_parsed_conditions_match_reference_query(self, low, width, z_cap):
+        rng = np.random.default_rng(11)
+        table = Table.from_arrays(
+            "t",
+            {
+                "x": rng.integers(0, 10_000, 1_500),
+                "z": rng.integers(0, 1_000, 1_500),
+            },
+        )
+        sql = (
+            f"SELECT COUNT(*) FROM t WHERE x BETWEEN {low} AND {low + width} "
+            f"AND z <= {z_cap}"
+        )
+        parsed = parse_query(sql, table)
+        reference = Query.from_ranges(
+            {"x": (low, low + width), "z": (int(table.bounds('z')[0]), z_cap)}
+        )
+        expected, _ = execute_full_scan(table, reference)
+        actual, _ = execute_full_scan(table, parsed)
+        assert actual == expected

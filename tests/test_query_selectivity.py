@@ -1,0 +1,56 @@
+"""Tests for repro.query.selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.query.query import Query
+from repro.query.selectivity import (
+    average_dimension_selectivity,
+    dimension_selectivity,
+    query_selectivity,
+    selectivity_vector,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_arrays(
+        "t", {"a": np.arange(100), "b": np.repeat(np.arange(10), 10)}
+    )
+
+
+class TestDimensionSelectivity:
+    def test_exact_fraction(self, table):
+        assert dimension_selectivity(table, "a", 0, 24) == pytest.approx(0.25)
+
+    def test_no_match(self, table):
+        assert dimension_selectivity(table, "a", 1000, 2000) == 0.0
+
+    def test_full_domain(self, table):
+        assert dimension_selectivity(table, "a", 0, 99) == 1.0
+
+
+class TestQuerySelectivity:
+    def test_conjunction(self, table):
+        query = Query.from_ranges({"a": (0, 49), "b": (0, 4)})
+        assert query_selectivity(table, query) == pytest.approx(0.5)
+
+    def test_empty_query_selects_all(self, table):
+        assert query_selectivity(table, Query(predicates=())) == 1.0
+
+    def test_vector_per_dimension(self, table):
+        query = Query.from_ranges({"a": (0, 9), "b": (0, 0)})
+        vector = selectivity_vector(table, query)
+        assert vector["a"] == pytest.approx(0.10)
+        assert vector["b"] == pytest.approx(0.10)
+
+
+class TestAverageDimensionSelectivity:
+    def test_unfiltered_counts_as_one(self, table):
+        queries = [Query.from_ranges({"a": (0, 9)}), Query.from_ranges({"b": (0, 0)})]
+        average = average_dimension_selectivity(table, queries, "a")
+        assert average == pytest.approx((0.1 + 1.0) / 2)
+
+    def test_empty_queries(self, table):
+        assert average_dimension_selectivity(table, [], "a") == 1.0

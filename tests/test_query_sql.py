@@ -1,0 +1,161 @@
+"""Tests for the SQL front-end (repro.query.sql)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KdTreeIndex
+from repro.common.errors import QueryError
+from repro.query.engine import execute_full_scan
+from repro.query.sql import execute_sql, parse_query, parse_statement
+from repro.storage.table import Table
+
+
+def sales_table(num_rows: int = 2_000, seed: int = 8) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        "sales",
+        {
+            "year": rng.integers(2016, 2021, num_rows).tolist(),
+            "amount": np.round(rng.uniform(1, 1_000, num_rows), 2).tolist(),
+            "region": [["east", "north", "south", "west"][i] for i in rng.integers(0, 4, num_rows)],
+        },
+    )
+
+
+class TestParseStatement:
+    def test_count_star(self):
+        statement = parse_statement("SELECT COUNT(*) FROM sales")
+        assert statement.aggregate == "count"
+        assert statement.aggregate_column is None
+        assert statement.table_name == "sales"
+        assert statement.conditions == ()
+
+    @pytest.mark.parametrize(
+        "aggregate", ["SUM", "AVG", "MIN", "MAX", "sum", "avg"]
+    )
+    def test_column_aggregates(self, aggregate):
+        statement = parse_statement(f"SELECT {aggregate}(amount) FROM sales")
+        assert statement.aggregate == aggregate.lower()
+        assert statement.aggregate_column == "amount"
+
+    def test_table_qualified_columns_are_stripped(self):
+        statement = parse_statement(
+            "SELECT SUM(R.amount) FROM sales WHERE R.year >= 2019 AND R.year <= 2020"
+        )
+        assert statement.aggregate_column == "amount"
+        assert statement.conditions[0][0] == "year"
+
+    def test_between_produces_two_conditions(self):
+        statement = parse_statement(
+            "SELECT COUNT(*) FROM sales WHERE year BETWEEN 2018 AND 2020"
+        )
+        operators = {op for _, op, _ in statement.conditions}
+        assert operators == {"between_low", "between_high"}
+
+    def test_between_combined_with_other_conditions(self):
+        statement = parse_statement(
+            "SELECT COUNT(*) FROM sales WHERE year BETWEEN 2018 AND 2020 AND amount >= 10"
+        )
+        assert len(statement.conditions) == 3
+
+    def test_trailing_semicolon_and_newlines(self):
+        statement = parse_statement(
+            "SELECT COUNT(*)\nFROM sales\nWHERE year = 2019;\n"
+        )
+        assert statement.conditions == (("year", "=", "2019"),)
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(QueryError):
+            parse_statement("SELECT SUM(*) FROM sales")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            parse_statement("SELECT MEDIAN(amount) FROM sales")
+
+    def test_unsupported_shape_rejected(self):
+        with pytest.raises(QueryError):
+            parse_statement("SELECT amount FROM sales")
+        with pytest.raises(QueryError):
+            parse_statement("DELETE FROM sales")
+
+    def test_unparseable_condition_rejected(self):
+        with pytest.raises(QueryError):
+            parse_statement("SELECT COUNT(*) FROM sales WHERE year LIKE '%9'")
+
+
+class TestParseQuery:
+    def test_equality_on_string_column(self):
+        table = sales_table()
+        query = parse_query("SELECT COUNT(*) FROM sales WHERE region = 'east'", table)
+        code = table.column("region").to_storage("east")
+        assert query.filters() == {"region": (code, code)}
+
+    def test_float_bounds_use_fixed_point_scaling(self):
+        table = sales_table()
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE amount BETWEEN 10.5 AND 20.25", table
+        )
+        low, high = query.filters()["amount"]
+        assert low == table.column("amount").to_storage(10.5)
+        assert high == table.column("amount").to_storage(20.25)
+
+    def test_strict_inequalities_shrink_bounds(self):
+        table = sales_table()
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE year > 2017 AND year < 2020", table
+        )
+        assert query.filters()["year"] == (2018, 2019)
+
+    def test_repeated_conditions_intersect(self):
+        table = sales_table()
+        query = parse_query(
+            "SELECT COUNT(*) FROM sales WHERE year >= 2017 AND year >= 2019 AND year <= 2020",
+            table,
+        )
+        assert query.filters()["year"] == (2019, 2020)
+
+    def test_contradictory_conditions_rejected(self):
+        table = sales_table()
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM sales WHERE year > 2020 AND year < 2018", table)
+
+    def test_unknown_filter_column_rejected(self):
+        table = sales_table()
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM sales WHERE month = 3", table)
+
+    def test_unknown_aggregate_column_rejected(self):
+        table = sales_table()
+        with pytest.raises(QueryError):
+            parse_query("SELECT SUM(revenue) FROM sales", table)
+
+    def test_count_of_column_behaves_like_count_star(self):
+        table = sales_table()
+        query = parse_query("SELECT COUNT(amount) FROM sales WHERE year = 2019", table)
+        assert query.aggregate == "count"
+        assert query.aggregate_column is None
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT COUNT(*) FROM sales",
+            "SELECT COUNT(*) FROM sales WHERE year BETWEEN 2017 AND 2019",
+            "SELECT SUM(year) FROM sales WHERE amount <= 500.0",
+            "SELECT AVG(year) FROM sales WHERE region = 'west'",
+            "SELECT MIN(year) FROM sales WHERE amount > 100 AND amount < 900",
+            "SELECT MAX(year) FROM sales WHERE region >= 'north' AND region <= 'south'",
+        ],
+    )
+    def test_results_match_full_scan(self, sql):
+        table = sales_table()
+        index = KdTreeIndex(page_size=256).build(table, None)
+        query = parse_query(sql, index.table)
+        expected, _ = execute_full_scan(index.table, query)
+        assert execute_sql(sql, index) == pytest.approx(expected)
+
+    def test_empty_result_counts_zero(self):
+        table = sales_table()
+        index = KdTreeIndex(page_size=256).build(table, None)
+        assert execute_sql("SELECT COUNT(*) FROM sales WHERE year = 1999", index) == 0

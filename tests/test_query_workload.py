@@ -1,0 +1,83 @@
+"""Tests for repro.query.workload."""
+
+import numpy as np
+import pytest
+
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def workload() -> Workload:
+    queries = [
+        Query.from_ranges({"a": (0, 10)}, query_type=0),
+        Query.from_ranges({"a": (5, 20), "b": (0, 1)}, query_type=0),
+        Query.from_ranges({"b": (3, 9)}, query_type=1),
+        Query.from_ranges({"b": (4, 4)}, query_type=1),
+    ]
+    return Workload(queries, name="w")
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_arrays("t", {"a": rng.integers(0, 50, 500), "b": rng.integers(0, 10, 500)})
+
+
+class TestWorkloadBasics:
+    def test_len_iter_getitem(self, workload):
+        assert len(workload) == 4
+        assert list(workload)[0] is workload[0]
+
+    def test_filtered_dimensions_order(self, workload):
+        assert workload.filtered_dimensions() == ("a", "b")
+
+    def test_query_types(self, workload):
+        assert workload.query_types() == [0, 1]
+
+    def test_by_type_groups(self, workload):
+        groups = workload.by_type()
+        assert len(groups[0]) == 2 and len(groups[1]) == 2
+
+    def test_filter(self, workload):
+        only_b = workload.filter(lambda q: q.filtered_dimensions == ("b",))
+        assert len(only_b) == 2
+
+
+class TestSampleAndSplit:
+    def test_sample_size(self, workload):
+        assert len(workload.sample(2, seed=0)) == 2
+
+    def test_sample_larger_than_workload(self, workload):
+        assert len(workload.sample(100, seed=0)) == 4
+
+    def test_split_partitions_queries(self, workload):
+        train, test = workload.split(0.5, seed=1)
+        assert len(train) + len(test) == len(workload)
+        assert len(train) >= 1
+
+    def test_split_invalid_fraction(self, workload):
+        with pytest.raises(ValueError):
+            workload.split(1.5)
+
+    def test_extend(self, workload):
+        bigger = workload.extend([Query.from_ranges({"a": (0, 1)})])
+        assert len(bigger) == 5
+        assert len(workload) == 4  # original untouched
+
+
+class TestStatistics:
+    def test_statistics_fields(self, workload, table):
+        stats = workload.statistics(table)
+        assert stats.num_queries == 4
+        assert stats.num_query_types == 2
+        assert 0.0 <= stats.min_selectivity <= stats.avg_selectivity <= stats.max_selectivity <= 1.0
+        assert "a" in stats.filtered_dimensions
+
+    def test_empty_workload_statistics(self, table):
+        stats = Workload([]).statistics(table)
+        assert stats.num_queries == 0 and stats.num_query_types == 0
+
+    def test_describe_is_string(self, workload, table):
+        assert "queries" in workload.statistics(table).describe()

@@ -1,0 +1,80 @@
+"""Tests for repro.stats.clustering (from-scratch DBSCAN)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.clustering import NOISE, assign_noise_to_clusters, dbscan
+
+
+def two_blobs(n_per_blob: int = 50, separation: float = 10.0, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    blob_a = rng.normal(0.0, 0.3, size=(n_per_blob, 2))
+    blob_b = rng.normal(separation, 0.3, size=(n_per_blob, 2))
+    return np.vstack([blob_a, blob_b])
+
+
+class TestDbscan:
+    def test_two_well_separated_blobs(self):
+        points = two_blobs()
+        labels = dbscan(points, eps=1.5, min_samples=4)
+        assert set(labels[:50]) == {labels[0]}
+        assert set(labels[50:]) == {labels[50]}
+        assert labels[0] != labels[50]
+
+    def test_single_cluster(self):
+        points = np.random.default_rng(1).normal(0, 0.2, size=(40, 2))
+        labels = dbscan(points, eps=1.0, min_samples=4)
+        assert len(set(labels.tolist())) == 1
+        assert NOISE not in labels
+
+    def test_all_noise_when_eps_tiny(self):
+        points = two_blobs(n_per_blob=10)
+        labels = dbscan(points, eps=1e-9, min_samples=3)
+        assert set(labels.tolist()) == {NOISE}
+
+    def test_isolated_point_is_noise(self):
+        points = np.vstack([np.zeros((20, 2)), np.array([[100.0, 100.0]])])
+        labels = dbscan(points, eps=1.0, min_samples=4)
+        assert labels[-1] == NOISE
+
+    def test_one_dimensional_input(self):
+        points = np.concatenate([np.zeros(20), np.full(20, 50.0)])
+        labels = dbscan(points, eps=1.0, min_samples=3)
+        assert labels[0] != labels[-1]
+
+    def test_empty_input(self):
+        assert dbscan(np.empty((0, 2)), eps=0.5).size == 0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 2)), eps=0.0)
+
+    def test_invalid_min_samples(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 2)), eps=1.0, min_samples=0)
+
+    def test_deterministic(self):
+        points = two_blobs(seed=5)
+        labels_a = dbscan(points, eps=1.5, min_samples=4)
+        labels_b = dbscan(points, eps=1.5, min_samples=4)
+        assert np.array_equal(labels_a, labels_b)
+
+
+class TestAssignNoise:
+    def test_noise_folded_into_nearest_cluster(self):
+        points = np.vstack([np.zeros((20, 2)), np.full((20, 2), 10.0), [[9.0, 9.0]]])
+        labels = dbscan(points, eps=1.0, min_samples=4)
+        assert labels[-1] == NOISE
+        folded = assign_noise_to_clusters(points, labels)
+        assert folded[-1] == folded[20]
+
+    def test_all_noise_becomes_singletons(self):
+        points = np.array([[0.0, 0.0], [100.0, 0.0], [200.0, 0.0]])
+        labels = dbscan(points, eps=1.0, min_samples=2)
+        folded = assign_noise_to_clusters(points, labels)
+        assert len(set(folded.tolist())) == 3
+
+    def test_no_noise_is_identity(self):
+        points = np.random.default_rng(2).normal(0, 0.1, size=(30, 2))
+        labels = dbscan(points, eps=1.0, min_samples=3)
+        assert np.array_equal(labels, assign_noise_to_clusters(points, labels))

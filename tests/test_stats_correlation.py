@@ -1,0 +1,129 @@
+"""Tests for repro.stats.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexBuildError
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.correlation import (
+    BoundedLinearModel,
+    correlation_report,
+    empty_cell_fraction,
+    monotonic_correlation,
+)
+
+
+class TestBoundedLinearModel:
+    def test_covering_guarantee(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 10_000, 5000)
+        x = y * 3 + rng.integers(-100, 101, 5000)
+        model = BoundedLinearModel.fit(mapped_values=y, target_values=x)
+        # Every point with y in [lo, hi] must have x inside the mapped range.
+        lo, hi = 2000, 3000
+        mask = (y >= lo) & (y <= hi)
+        x_lo, x_hi = model.map_range(lo, hi)
+        assert x[mask].min() >= x_lo - 1e-6
+        assert x[mask].max() <= x_hi + 1e-6
+
+    def test_tight_correlation_small_error(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 100_000, 5000)
+        x = y * 2 + rng.integers(-10, 11, 5000)
+        model = BoundedLinearModel.fit(y, x)
+        assert model.relative_error(float(x.max() - x.min())) < 0.01
+
+    def test_uncorrelated_large_error(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 100_000, 5000)
+        x = rng.integers(0, 100_000, 5000)
+        model = BoundedLinearModel.fit(y, x)
+        assert model.relative_error(float(x.max() - x.min())) > 0.5
+
+    def test_map_range_with_negative_slope(self):
+        y = np.arange(1000)
+        x = 5000 - y
+        model = BoundedLinearModel.fit(y, x)
+        x_lo, x_hi = model.map_range(100, 200)
+        assert x_lo <= 4800 and x_hi >= 4900
+
+    def test_constant_mapped_dimension(self):
+        model = BoundedLinearModel.fit(np.full(10, 3), np.arange(10))
+        lo, hi = model.map_range(3, 3)
+        assert lo <= 0 and hi >= 9
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(IndexBuildError):
+            BoundedLinearModel.fit(np.arange(3), np.arange(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexBuildError):
+            BoundedLinearModel.fit(np.array([]), np.array([]))
+
+    def test_size_is_four_floats(self):
+        model = BoundedLinearModel.fit(np.arange(10), np.arange(10))
+        assert model.size_bytes() == 32
+
+
+class TestMonotonicCorrelation:
+    def test_perfect_monotone(self):
+        x = np.arange(1000)
+        assert monotonic_correlation(x, x * 7 + 3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        x = np.arange(1000)
+        assert monotonic_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        rho = monotonic_correlation(rng.normal(size=5000), rng.normal(size=5000))
+        assert abs(rho) < 0.1
+
+    def test_constant_input(self):
+        assert monotonic_correlation(np.full(10, 1), np.arange(10)) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            monotonic_correlation(np.arange(3), np.arange(4))
+
+
+class TestEmptyCellFraction:
+    def test_correlated_data_leaves_empty_cells(self):
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 100_000, 20_000)
+        y = x + rng.integers(-100, 101, 20_000)
+        x_parts = EmpiricalCDF(x).partitions_of(x, 16)
+        y_parts = EmpiricalCDF(y).partitions_of(y, 16)
+        assert empty_cell_fraction(x_parts, y_parts, 16, 16) > 0.5
+
+    def test_independent_data_fills_cells(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 100_000, 50_000)
+        y = rng.integers(0, 100_000, 50_000)
+        x_parts = EmpiricalCDF(x).partitions_of(x, 8)
+        y_parts = EmpiricalCDF(y).partitions_of(y, 8)
+        assert empty_cell_fraction(x_parts, y_parts, 8, 8) < 0.05
+
+    def test_empty_input_is_all_empty(self):
+        assert empty_cell_fraction(np.array([]), np.array([]), 4, 4) == 1.0
+
+    def test_invalid_partition_counts(self):
+        with pytest.raises(ValueError):
+            empty_cell_fraction(np.array([0]), np.array([0]), 0, 4)
+
+
+class TestCorrelationReport:
+    def test_reports_all_pairs(self):
+        rng = np.random.default_rng(6)
+        columns = {"a": rng.normal(size=1000), "b": rng.normal(size=1000), "c": rng.normal(size=1000)}
+        report = correlation_report(columns)
+        assert len(report) == 3
+
+    def test_detects_monotonic_pair(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 1000, 2000)
+        report = correlation_report({"a": a, "b": a * 2 + 1})
+        assert report[0].is_monotonic
+
+    def test_empty_columns(self):
+        assert correlation_report({}) == []

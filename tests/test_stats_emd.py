@@ -1,0 +1,56 @@
+"""Tests for repro.stats.emd."""
+
+import numpy as np
+import pytest
+
+from repro.stats.emd import earth_movers_distance, uniform_like
+
+
+class TestEarthMoversDistance:
+    def test_identical_distributions(self):
+        p = np.array([1.0, 2.0, 3.0])
+        assert earth_movers_distance(p, p) == 0.0
+
+    def test_symmetric(self):
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([0.0, 0.0, 1.0])
+        assert earth_movers_distance(p, q) == earth_movers_distance(q, p)
+
+    def test_moving_one_bin(self):
+        # Moving all mass by one bin out of two costs 1 cumulative step.
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert earth_movers_distance(p, q) == pytest.approx(1.0)
+
+    def test_farther_is_larger(self):
+        p = np.array([1.0, 0.0, 0.0])
+        near = np.array([0.0, 1.0, 0.0])
+        far = np.array([0.0, 0.0, 1.0])
+        assert earth_movers_distance(p, far) > earth_movers_distance(p, near)
+
+    def test_unnormalized_inputs_are_normalized(self):
+        p = np.array([2.0, 0.0])
+        q = np.array([0.0, 8.0])
+        assert earth_movers_distance(p, q) == pytest.approx(1.0)
+
+    def test_zero_distributions(self):
+        zero = np.zeros(4)
+        assert earth_movers_distance(zero, zero) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            earth_movers_distance(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        assert earth_movers_distance(np.array([]), np.array([])) == 0.0
+
+
+class TestUniformLike:
+    def test_preserves_total_mass(self):
+        mass = np.array([3.0, 1.0, 0.0, 0.0])
+        uniform = uniform_like(mass)
+        assert uniform.sum() == pytest.approx(4.0)
+        assert np.allclose(uniform, 1.0)
+
+    def test_empty(self):
+        assert uniform_like(np.array([])).size == 0

@@ -1,0 +1,82 @@
+"""Tests for repro.stats.histogram."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.stats.histogram import EquiWidthHistogram, query_histogram
+
+
+class TestEquiWidthHistogram:
+    def test_from_values_bin_count(self):
+        histogram = EquiWidthHistogram.from_values(np.arange(10_000), num_bins=128)
+        assert histogram.num_bins == 128
+        assert histogram.total == 10_000
+
+    def test_few_unique_values_get_one_bin_each(self):
+        values = np.array([1, 1, 2, 2, 2, 7])
+        histogram = EquiWidthHistogram.from_values(values, num_bins=128)
+        assert histogram.num_bins == 3
+        assert histogram.counts.tolist() == [2, 3, 1]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram.from_values(np.array([]))
+
+    def test_bin_of_clamps(self):
+        histogram = EquiWidthHistogram.from_values(np.arange(100), num_bins=10)
+        assert histogram.bin_of(-5) == 0
+        assert histogram.bin_of(1_000) == 9
+
+    def test_bin_range(self):
+        histogram = EquiWidthHistogram(edges=np.array([0.0, 10.0, 20.0, 30.0]), counts=np.zeros(3))
+        assert histogram.bin_range(5, 25) == (0, 3)
+
+    def test_bin_range_invalid(self):
+        histogram = EquiWidthHistogram(edges=np.array([0.0, 1.0]), counts=np.zeros(1))
+        with pytest.raises(QueryError):
+            histogram.bin_range(5, 1)
+
+    def test_normalized_sums_to_one(self):
+        histogram = EquiWidthHistogram.from_values(np.arange(100), num_bins=10)
+        assert histogram.normalized().sum() == pytest.approx(1.0)
+
+    def test_normalized_of_empty_mass_is_uniform(self):
+        histogram = EquiWidthHistogram(edges=np.array([0.0, 1.0, 2.0]), counts=np.zeros(2))
+        assert histogram.normalized().tolist() == [0.5, 0.5]
+
+    def test_edges_counts_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram(edges=np.array([0.0, 1.0]), counts=np.zeros(3))
+
+
+class TestQueryHistogram:
+    def test_total_mass_equals_query_count(self):
+        intervals = [(0, 10), (20, 50), (90, 99)]
+        histogram = query_histogram(intervals, 0, 100, num_bins=10)
+        assert histogram.total == pytest.approx(3.0)
+
+    def test_mass_spread_over_intersecting_bins(self):
+        histogram = query_histogram([(0, 19)], 0, 100, num_bins=10)
+        # The query spans bins 0 and 1, contributing half a unit to each.
+        assert histogram.counts[0] == pytest.approx(0.5)
+        assert histogram.counts[1] == pytest.approx(0.5)
+        assert histogram.counts[2:].sum() == 0
+
+    def test_queries_outside_domain_ignored(self):
+        histogram = query_histogram([(200, 300)], 0, 100, num_bins=10)
+        assert histogram.total == 0.0
+
+    def test_queries_clipped_to_domain(self):
+        histogram = query_histogram([(-50, 9)], 0, 100, num_bins=10)
+        assert histogram.counts[0] == pytest.approx(1.0)
+
+    def test_custom_edges(self):
+        edges = np.array([0.0, 50.0, 100.0])
+        histogram = query_histogram([(0, 49)], 0, 100, edges=edges)
+        assert histogram.num_bins == 2
+        assert histogram.counts[0] == pytest.approx(1.0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(QueryError):
+            query_histogram([(0, 1)], 10, 10)

@@ -1,0 +1,61 @@
+"""Tests for repro.stats.rmi."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexBuildError
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.rmi import RecursiveModelIndex
+
+
+class TestRecursiveModelIndex:
+    def test_bounded_output(self):
+        values = np.random.default_rng(0).integers(0, 100_000, 20_000)
+        rmi = RecursiveModelIndex(values)
+        for x in np.linspace(-1000, 101_000, 64):
+            assert 0.0 <= rmi.evaluate(float(x)) <= 1.0
+
+    def test_extremes(self):
+        rmi = RecursiveModelIndex(np.arange(1000))
+        assert rmi.evaluate(-1) == 0.0
+        assert rmi.evaluate(2000) == 1.0
+
+    def test_close_to_empirical_cdf_on_uniform_data(self):
+        values = np.random.default_rng(1).integers(0, 1_000_000, 50_000)
+        rmi = RecursiveModelIndex(values, num_leaf_models=64)
+        cdf = EmpiricalCDF(values)
+        xs = np.linspace(0, 1_000_000, 200)
+        errors = np.abs(rmi.evaluate_many(xs) - cdf.evaluate_many(xs))
+        assert errors.max() < 0.05
+
+    def test_partition_of_in_range(self):
+        values = np.random.default_rng(2).normal(0, 1000, 10_000).astype(np.int64)
+        rmi = RecursiveModelIndex(values)
+        for x in (-3000, 0, 3000):
+            assert 0 <= rmi.partition_of(x, 16) < 16
+
+    def test_skewed_data(self):
+        values = np.random.default_rng(3).exponential(100, 30_000).astype(np.int64)
+        rmi = RecursiveModelIndex(values, num_leaf_models=32)
+        cdf = EmpiricalCDF(values)
+        xs = np.linspace(0, float(values.max()), 100)
+        errors = np.abs(rmi.evaluate_many(xs) - cdf.evaluate_many(xs))
+        assert errors.mean() < 0.05
+
+    def test_constant_values(self):
+        rmi = RecursiveModelIndex(np.full(100, 42))
+        assert rmi.evaluate(41) == 0.0
+        assert rmi.evaluate(43) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexBuildError):
+            RecursiveModelIndex(np.array([]))
+
+    def test_invalid_leaf_count(self):
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(np.arange(10), num_leaf_models=0)
+
+    def test_size_bytes_scales_with_leaves(self):
+        small = RecursiveModelIndex(np.arange(1000), num_leaf_models=8)
+        large = RecursiveModelIndex(np.arange(1000), num_leaf_models=64)
+        assert large.size_bytes() > small.size_bytes()

@@ -1,0 +1,93 @@
+"""Tests for repro.storage.column."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+
+
+class TestColumnConstruction:
+    def test_from_integer_values(self):
+        column = Column.from_values("a", [3, 1, 2])
+        assert column.values.tolist() == [3, 1, 2]
+        assert column.dictionary is None and column.scaler is None
+
+    def test_from_float_values_scales(self):
+        column = Column.from_values("price", [1.25, 2.50])
+        assert column.scaler is not None
+        assert column.values.tolist() == [125, 250]
+
+    def test_from_string_values_dictionary_encodes(self):
+        column = Column.from_values("mode", ["air", "ship", "air"])
+        assert column.dictionary is not None
+        assert column.values.tolist() == [0, 1, 0]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", np.array([1]))
+
+    def test_dictionary_and_scaler_mutually_exclusive(self):
+        from repro.storage.dictionary import DictionaryEncoder
+        from repro.storage.scaling import FixedPointScaler
+
+        with pytest.raises(SchemaError):
+            Column(
+                "bad",
+                np.array([1]),
+                dictionary=DictionaryEncoder(["a"]),
+                scaler=FixedPointScaler(1),
+            )
+
+
+class TestColumnAccess:
+    def test_len_and_minmax(self):
+        column = Column("a", np.array([5, 1, 9]))
+        assert len(column) == 3
+        assert column.min() == 1
+        assert column.max() == 9
+
+    def test_minmax_on_empty_raises(self):
+        column = Column("a", np.array([], dtype=np.int64))
+        with pytest.raises(SchemaError):
+            column.min()
+
+    def test_values_are_read_only(self):
+        column = Column("a", np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            column.values[0] = 9
+
+    def test_slice(self):
+        column = Column("a", np.array([1, 2, 3, 4]))
+        assert column.slice(1, 3).tolist() == [2, 3]
+
+
+class TestValueConversion:
+    def test_string_roundtrip(self):
+        column = Column.from_values("mode", ["rail", "air"])
+        assert column.to_user(column.to_storage("rail")) == "rail"
+
+    def test_float_roundtrip(self):
+        column = Column.from_values("price", [1.25, 9.99])
+        assert column.to_user(column.to_storage(9.99)) == pytest.approx(9.99)
+
+    def test_int_passthrough(self):
+        column = Column.from_values("a", [1, 2])
+        assert column.to_storage(7) == 7
+        assert column.to_user(7) == 7
+
+
+class TestReorder:
+    def test_reorder_permutes_values(self):
+        column = Column("a", np.array([10, 20, 30]))
+        column.reorder(np.array([2, 0, 1]))
+        assert column.values.tolist() == [30, 10, 20]
+
+    def test_reorder_wrong_length_rejected(self):
+        column = Column("a", np.array([1, 2, 3]))
+        with pytest.raises(SchemaError):
+            column.reorder(np.array([0, 1]))
+
+    def test_size_bytes(self):
+        column = Column("a", np.arange(100))
+        assert column.size_bytes() >= 800

@@ -1,0 +1,104 @@
+"""Tests for CSV ingestion and export (repro.storage.csv_io)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.table import Table
+
+CSV_TEXT = """order_id,amount,mode,weight
+1,100,air,1.5
+2,250,ship,10.25
+3,75,air,0.5
+4,400,truck,3.0
+"""
+
+
+def write_sample(tmp_path, text: str = CSV_TEXT, name: str = "orders.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestReadCsv:
+    def test_type_inference(self, tmp_path):
+        table = read_csv(write_sample(tmp_path))
+        assert table.name == "orders"
+        assert table.num_rows == 4
+        assert table.column("order_id").dictionary is None
+        assert table.column("order_id").scaler is None
+        assert table.column("mode").dictionary is not None
+        assert table.column("weight").scaler is not None
+
+    def test_values_round_trip_through_encodings(self, tmp_path):
+        table = read_csv(write_sample(tmp_path))
+        assert table.column("mode").to_user(int(table.values("mode")[1])) == "ship"
+        assert table.column("weight").to_user(int(table.values("weight")[1])) == pytest.approx(10.25)
+        assert int(table.values("amount")[3]) == 400
+
+    def test_column_subset_and_order(self, tmp_path):
+        table = read_csv(write_sample(tmp_path), columns=["mode", "amount"])
+        assert table.column_names == ["mode", "amount"]
+
+    def test_max_rows_caps_ingest(self, tmp_path):
+        table = read_csv(write_sample(tmp_path), max_rows=2)
+        assert table.num_rows == 2
+
+    def test_custom_table_name(self, tmp_path):
+        table = read_csv(write_sample(tmp_path), table_name="lineitem")
+        assert table.name == "lineitem"
+
+    def test_mixed_int_float_column_becomes_float(self, tmp_path):
+        path = write_sample(tmp_path, "a,b\n1,2\n2,2.5\n", name="mixed.csv")
+        table = read_csv(path)
+        assert table.column("b").scaler is not None
+        assert table.column("a").scaler is None
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(write_sample(tmp_path, "", name="empty.csv"))
+
+    def test_header_only_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(write_sample(tmp_path, "a,b\n", name="header.csv"))
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(write_sample(tmp_path, "a,a\n1,2\n", name="dup.csv"))
+
+    def test_unknown_requested_column_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(write_sample(tmp_path), columns=["amount", "missing"])
+
+    def test_ragged_row_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            read_csv(write_sample(tmp_path, "a,b\n1,2\n3\n", name="ragged.csv"))
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        original = read_csv(write_sample(tmp_path))
+        out_path = write_csv(original, tmp_path / "out" / "copy.csv")
+        reloaded = read_csv(out_path)
+        assert reloaded.num_rows == original.num_rows
+        assert reloaded.column_names == original.column_names
+        for name in original.column_names:
+            first_original = original.column(name).to_user(int(original.values(name)[0]))
+            first_reloaded = reloaded.column(name).to_user(int(reloaded.values(name)[0]))
+            assert first_reloaded == pytest.approx(first_original)
+
+    def test_clustered_order_is_preserved_in_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        table = Table.from_arrays(
+            "t", {"x": rng.integers(0, 100, 50), "y": rng.integers(0, 100, 50)}
+        )
+        permutation = rng.permutation(50)
+        table.reorder(permutation)
+        path = write_csv(table, tmp_path / "clustered.csv")
+        reloaded = read_csv(path)
+        assert np.array_equal(reloaded.values("x"), table.values("x"))

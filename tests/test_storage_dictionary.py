@@ -1,0 +1,56 @@
+"""Tests for repro.storage.dictionary."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.dictionary import DictionaryEncoder
+
+
+class TestDictionaryEncoder:
+    def test_codes_follow_sort_order(self):
+        encoder = DictionaryEncoder(["banana", "apple", "cherry"])
+        assert encoder.encode(["apple", "banana", "cherry"]).tolist() == [0, 1, 2]
+
+    def test_order_preserving(self):
+        encoder = DictionaryEncoder(["x", "m", "a", "z"])
+        values = sorted(encoder.values)
+        codes = [encoder.encode_one(v) for v in values]
+        assert codes == sorted(codes)
+
+    def test_roundtrip(self):
+        encoder = DictionaryEncoder(["red", "green", "blue"])
+        codes = encoder.encode(["green", "blue", "red", "green"])
+        assert encoder.decode(codes) == ["green", "blue", "red", "green"]
+
+    def test_duplicates_collapse(self):
+        encoder = DictionaryEncoder(["a", "a", "b", "b", "b"])
+        assert len(encoder) == 2
+
+    def test_unknown_value_raises(self):
+        encoder = DictionaryEncoder(["a"])
+        with pytest.raises(SchemaError):
+            encoder.encode_one("missing")
+
+    def test_unknown_code_raises(self):
+        encoder = DictionaryEncoder(["a"])
+        with pytest.raises(SchemaError):
+            encoder.decode_one(5)
+
+    def test_contains(self):
+        encoder = DictionaryEncoder(["a", "b"])
+        assert "a" in encoder
+        assert "z" not in encoder
+
+    def test_refit_extends(self):
+        encoder = DictionaryEncoder(["b"])
+        encoder.fit(["a", "c"])
+        assert encoder.values == ["a", "b", "c"]
+
+    def test_size_bytes_positive(self):
+        encoder = DictionaryEncoder(["alpha", "beta"])
+        assert encoder.size_bytes() > 0
+
+    def test_empty_encoder(self):
+        encoder = DictionaryEncoder()
+        assert len(encoder) == 0
+        assert encoder.values == []

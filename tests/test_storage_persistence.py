@@ -1,0 +1,151 @@
+"""Tests for table and index snapshots (§8 extension, repro.storage.persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import KdTreeIndex
+from repro.common.errors import IndexBuildError, SchemaError
+from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.query.engine import execute_full_scan
+from repro.query.query import Query
+from repro.storage.persistence import (
+    load_index,
+    load_table,
+    save_index,
+    save_table,
+    snapshot_info,
+)
+from repro.storage.table import Table
+
+
+def mixed_table(num_rows: int = 1_000, seed: int = 3) -> Table:
+    """A table exercising all three column encodings (int, float, string)."""
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        "mixed",
+        {
+            "quantity": rng.integers(0, 100, num_rows).tolist(),
+            "price": np.round(rng.uniform(1, 500, num_rows), 2).tolist(),
+            "mode": [["air", "rail", "ship", "truck"][i] for i in rng.integers(0, 4, num_rows)],
+        },
+    )
+
+
+class TestTableRoundTrip:
+    def test_values_and_name_survive(self, tmp_path):
+        table = mixed_table()
+        save_table(table, tmp_path)
+        loaded = load_table(tmp_path)
+        assert loaded.name == table.name
+        assert loaded.num_rows == table.num_rows
+        for name in table.column_names:
+            assert np.array_equal(loaded.values(name), table.values(name))
+
+    def test_encodings_survive(self, tmp_path):
+        table = mixed_table()
+        save_table(table, tmp_path)
+        loaded = load_table(tmp_path)
+        assert loaded.column("mode").to_user(0) == table.column("mode").to_user(0)
+        assert loaded.column("price").to_storage(12.34) == table.column("price").to_storage(12.34)
+        assert loaded.column("quantity").dictionary is None
+        assert loaded.column("quantity").scaler is None
+
+    def test_physical_row_order_survives(self, tmp_path):
+        table = mixed_table()
+        permutation = np.random.default_rng(9).permutation(table.num_rows)
+        table.reorder(permutation)
+        save_table(table, tmp_path)
+        loaded = load_table(tmp_path)
+        assert np.array_equal(loaded.values("quantity"), table.values("quantity"))
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_table(tmp_path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        table = mixed_table(num_rows=10)
+        save_table(table, tmp_path)
+        manifest_path = tmp_path / "table.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError):
+            load_table(tmp_path)
+
+    def test_save_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "snapshot"
+        save_table(mixed_table(num_rows=10), target)
+        assert (target / "table.json").exists()
+        assert (target / "columns.npz").exists()
+
+
+class TestIndexRoundTrip:
+    def queries(self, table: Table) -> list[Query]:
+        bounds = table.bounds("quantity")
+        return [
+            Query.from_ranges({"quantity": (bounds[0], (bounds[0] + bounds[1]) // 2)}),
+            Query.from_user_values(table, {"price": (10.0, 200.0)}),
+            Query.from_user_values(table, {"mode": ("air", "air")}),
+        ]
+
+    def test_kdtree_round_trip(self, tmp_path):
+        table = mixed_table()
+        index = KdTreeIndex(page_size=128).build(table, None)
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert isinstance(loaded, KdTreeIndex)
+        for query in self.queries(loaded.table):
+            expected, _ = execute_full_scan(loaded.table, query)
+            assert loaded.execute(query).value == expected
+
+    def test_tsunami_round_trip(self, tmp_path, fresh_table, fresh_workload):
+        index = TsunamiIndex(TsunamiConfig(optimizer_iterations=1)).build(
+            fresh_table, fresh_workload
+        )
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert isinstance(loaded, TsunamiIndex)
+        assert loaded.index_size_bytes() == index.index_size_bytes()
+        for query in list(fresh_workload)[:15]:
+            expected, _ = execute_full_scan(loaded.table, query)
+            assert loaded.execute(query).value == expected
+
+    def test_original_index_still_usable_after_save(self, tmp_path, fresh_table, fresh_workload):
+        index = TsunamiIndex(TsunamiConfig(optimizer_iterations=1)).build(
+            fresh_table, fresh_workload
+        )
+        save_index(index, tmp_path)
+        query = list(fresh_workload)[0]
+        expected, _ = execute_full_scan(index.table, query)
+        assert index.execute(query).value == expected
+
+    def test_unbuilt_index_rejected(self, tmp_path):
+        with pytest.raises(IndexBuildError):
+            save_index(KdTreeIndex(), tmp_path)
+
+    def test_missing_snapshot_rejected(self, tmp_path):
+        with pytest.raises(IndexBuildError):
+            load_index(tmp_path)
+
+
+class TestSnapshotInfo:
+    def test_table_only_snapshot(self, tmp_path):
+        save_table(mixed_table(num_rows=20), tmp_path)
+        info = snapshot_info(tmp_path)
+        assert info["table"]["num_rows"] == 20
+        assert "index" not in info
+
+    def test_full_snapshot(self, tmp_path):
+        table = mixed_table(num_rows=200)
+        index = KdTreeIndex(page_size=64).build(table, None)
+        save_index(index, tmp_path)
+        info = snapshot_info(tmp_path)
+        assert info["index"]["index_name"] == "kd-tree"
+        assert info["index"]["num_rows"] == 200
+        assert info["table"]["name"] == "mixed"
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            snapshot_info(tmp_path)

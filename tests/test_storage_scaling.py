@@ -1,0 +1,53 @@
+"""Tests for repro.storage.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.scaling import FixedPointScaler, scale_to_int64
+
+
+class TestFixedPointScaler:
+    def test_integers_need_no_scaling(self):
+        scaler = FixedPointScaler.fit(np.array([1.0, 2.0, 3.0]))
+        assert scaler.decimals == 0
+        assert scaler.factor == 1
+
+    def test_two_decimal_prices(self):
+        values = np.array([12.34, 0.99, 100.00])
+        scaler = FixedPointScaler.fit(values)
+        assert scaler.decimals == 2
+        assert scaler.transform(values).tolist() == [1234, 99, 10000]
+
+    def test_smallest_power_of_ten_chosen(self):
+        scaler = FixedPointScaler.fit(np.array([0.5, 1.5]))
+        assert scaler.decimals == 1
+
+    def test_roundtrip(self):
+        values = np.array([3.14, 2.72, 0.01])
+        scaler = FixedPointScaler.fit(values)
+        assert np.allclose(scaler.inverse(scaler.transform(values)), values)
+
+    def test_transform_scalar(self):
+        scaler = FixedPointScaler.fit(np.array([1.25]))
+        assert scaler.transform_scalar(2.5) == 250
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(SchemaError):
+            FixedPointScaler.fit(np.array([1.0, float("inf")]))
+
+    def test_too_many_decimals_rejected(self):
+        with pytest.raises(SchemaError):
+            FixedPointScaler.fit(np.array([0.1234567891234]))
+
+    def test_empty_array(self):
+        scaler = FixedPointScaler.fit(np.array([]))
+        assert scaler.decimals == 0
+
+
+class TestScaleToInt64:
+    def test_returns_scaler_and_values(self):
+        scaled, scaler = scale_to_int64(np.array([1.5, 2.5]))
+        assert scaled.dtype == np.int64
+        assert scaled.tolist() == [15, 25]
+        assert scaler.decimals == 1

@@ -1,0 +1,133 @@
+"""Tests for repro.storage.scan."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.storage.scan import RowRange, ScanExecutor, ScanStats, coalesce_ranges
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_arrays(
+        "t",
+        {
+            "a": np.array([0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            "b": np.array([5, 5, 5, 5, 5, 1, 1, 1, 1, 1]),
+        },
+    )
+
+
+class TestRowRange:
+    def test_length(self):
+        assert len(RowRange(2, 7)) == 5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(QueryError):
+            RowRange(5, 2)
+        with pytest.raises(QueryError):
+            RowRange(-1, 2)
+
+
+class TestCoalesceRanges:
+    def test_adjacent_merge(self):
+        merged = coalesce_ranges([RowRange(0, 5), RowRange(5, 10)])
+        assert len(merged) == 1 and len(merged[0]) == 10
+
+    def test_overlapping_merge(self):
+        merged = coalesce_ranges([RowRange(0, 6), RowRange(4, 10)])
+        assert merged == [RowRange(0, 10)]
+
+    def test_gap_not_merged(self):
+        merged = coalesce_ranges([RowRange(0, 3), RowRange(5, 8)])
+        assert len(merged) == 2
+
+    def test_exactness_boundary_not_merged(self):
+        merged = coalesce_ranges([RowRange(0, 5, exact=True), RowRange(5, 10, exact=False)])
+        assert len(merged) == 2
+
+    def test_empty_ranges_dropped(self):
+        assert coalesce_ranges([RowRange(3, 3)]) == []
+
+    def test_unsorted_input(self):
+        merged = coalesce_ranges([RowRange(5, 10), RowRange(0, 5)])
+        assert merged == [RowRange(0, 10)]
+
+
+class TestScanExecutor:
+    def test_count_with_filter(self, table):
+        executor = ScanExecutor(table)
+        value, stats = executor.execute(
+            [RowRange(0, 10)], {"a": (0, 4), "b": (5, 5)}, aggregate="count"
+        )
+        assert value == 5
+        assert stats.points_scanned == 10
+        assert stats.cell_ranges == 1
+        assert stats.dims_accessed == 2
+
+    def test_exact_range_skips_checks(self, table):
+        executor = ScanExecutor(table)
+        value, stats = executor.execute(
+            [RowRange(0, 5, exact=True)], {"a": (100, 200)}, aggregate="count"
+        )
+        # The filter would reject everything, but exact means "pre-verified".
+        assert value == 5
+        assert stats.points_scanned == 0
+
+    def test_sum(self, table):
+        executor = ScanExecutor(table)
+        value, _ = executor.execute(
+            [RowRange(0, 10)], {"b": (5, 5)}, aggregate="sum", aggregate_column="a"
+        )
+        assert value == 0 + 1 + 2 + 3 + 4
+
+    def test_avg_min_max(self, table):
+        executor = ScanExecutor(table)
+        avg, _ = executor.execute([RowRange(0, 10)], {}, "avg", "a")
+        assert avg == pytest.approx(4.5)
+        low, _ = executor.execute([RowRange(0, 10)], {}, "min", "a")
+        high, _ = executor.execute([RowRange(0, 10)], {}, "max", "a")
+        assert (low, high) == (0, 9)
+
+    def test_empty_match_aggregates(self, table):
+        executor = ScanExecutor(table)
+        total, _ = executor.execute([RowRange(0, 10)], {"a": (100, 200)}, "sum", "b")
+        assert total == 0.0
+        avg, _ = executor.execute([RowRange(0, 10)], {"a": (100, 200)}, "avg", "b")
+        assert np.isnan(avg)
+
+    def test_sum_requires_column(self, table):
+        with pytest.raises(QueryError):
+            ScanExecutor(table).execute([RowRange(0, 10)], {}, aggregate="sum")
+
+    def test_unknown_aggregate_rejected(self, table):
+        with pytest.raises(QueryError):
+            ScanExecutor(table).execute([RowRange(0, 10)], {}, aggregate="median")
+
+    def test_out_of_bounds_range_rejected(self, table):
+        with pytest.raises(QueryError):
+            ScanExecutor(table).execute([RowRange(0, 11)], {}, aggregate="count")
+
+    def test_multiple_ranges_counted_once_each(self, table):
+        executor = ScanExecutor(table)
+        value, stats = executor.execute(
+            [RowRange(0, 3), RowRange(7, 10)], {"a": (0, 9)}, aggregate="count"
+        )
+        assert value == 6
+        assert stats.cell_ranges == 2
+        assert stats.points_scanned == 6
+
+
+class TestScanStats:
+    def test_merge_accumulates(self):
+        total = ScanStats(points_scanned=5, cell_ranges=1, rows_matched=2, dims_accessed=2)
+        total.merge(ScanStats(points_scanned=3, cell_ranges=2, rows_matched=1, dims_accessed=1))
+        assert total.points_scanned == 8
+        assert total.cell_ranges == 3
+        assert total.rows_matched == 3
+
+    def test_scan_work(self):
+        stats = ScanStats(points_scanned=10, dims_accessed=3)
+        assert stats.scan_work == 30
+        assert ScanStats(points_scanned=10).scan_work == 10

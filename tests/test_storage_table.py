@@ -1,0 +1,111 @@
+"""Tests for repro.storage.table."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def make_table(num_rows: int = 100) -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_arrays(
+        "t",
+        {
+            "a": rng.integers(0, 50, num_rows),
+            "b": rng.integers(0, 1000, num_rows),
+        },
+    )
+
+
+class TestTableConstruction:
+    def test_from_dict_infers_encodings(self):
+        table = Table.from_dict(
+            "mixed", {"i": [1, 2], "f": [1.5, 2.5], "s": ["x", "y"]}
+        )
+        assert table.num_rows == 2
+        assert table.column("f").scaler is not None
+        assert table.column("s").dictionary is not None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="differing lengths"):
+            Table("bad", [Column("a", np.array([1])), Column("b", np.array([1, 2]))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table("bad", [Column("a", np.array([1])), Column("a", np.array([2]))])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("bad", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", [Column("a", np.array([1]))])
+
+
+class TestTableAccess:
+    def test_basic_metadata(self):
+        table = make_table(30)
+        assert len(table) == 30
+        assert table.num_dimensions == 2
+        assert table.column_names == ["a", "b"]
+        assert "a" in table and "z" not in table
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_table().column("missing")
+
+    def test_bounds(self):
+        table = Table.from_arrays("t", {"a": np.array([5, 1, 9])})
+        assert table.bounds("a") == (1, 9)
+
+    def test_matrix_shape_and_order(self):
+        table = make_table(10)
+        matrix = table.matrix(["b", "a"])
+        assert matrix.shape == (10, 2)
+        assert np.array_equal(matrix[:, 0], table.values("b"))
+
+    def test_size_bytes(self):
+        assert make_table(100).size_bytes() >= 1600
+
+
+class TestReorderAndSubset:
+    def test_reorder_keeps_rows_together(self):
+        table = Table.from_arrays(
+            "t", {"a": np.array([1, 2, 3]), "b": np.array([10, 20, 30])}
+        )
+        table.reorder(np.array([2, 1, 0]))
+        assert table.values("a").tolist() == [3, 2, 1]
+        assert table.values("b").tolist() == [30, 20, 10]
+
+    def test_reorder_non_permutation_rejected(self):
+        table = make_table(5)
+        with pytest.raises(SchemaError):
+            table.reorder(np.array([0, 0, 1, 2, 3]))
+
+    def test_reorder_wrong_length_rejected(self):
+        table = make_table(5)
+        with pytest.raises(SchemaError):
+            table.reorder(np.arange(4))
+
+    def test_sample_rows(self):
+        table = make_table(100)
+        sample = table.sample_rows(10, np.random.default_rng(1))
+        assert sample.num_rows == 10
+        assert sample.column_names == table.column_names
+
+    def test_sample_larger_than_table(self):
+        table = make_table(5)
+        assert table.sample_rows(50, np.random.default_rng(1)).num_rows == 5
+
+    def test_subset_selects_rows(self):
+        table = Table.from_arrays("t", {"a": np.array([10, 20, 30, 40])})
+        subset = table.subset(np.array([1, 3]))
+        assert subset.values("a").tolist() == [20, 40]
+
+    def test_subset_preserves_encodings(self):
+        table = Table.from_dict("t", {"s": ["a", "b", "c"]})
+        subset = table.subset(np.array([2]))
+        assert subset.column("s").to_user(int(subset.values("s")[0])) == "c"

@@ -1,0 +1,116 @@
+"""Tests for repro.datasets.workload_gen (template-driven workload generation)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.workload_gen import (
+    EqualitySpec,
+    QueryTemplate,
+    RangeSpec,
+    generate_workload,
+    scale_template_selectivities,
+)
+from repro.query.selectivity import dimension_selectivity, query_selectivity
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table.from_arrays(
+        "t",
+        {"time": rng.integers(0, 100_000, 20_000), "value": rng.integers(0, 1_000, 20_000)},
+    )
+
+
+class TestSpecs:
+    def test_range_spec_validation(self):
+        with pytest.raises(ValueError):
+            RangeSpec(selectivity=0.0)
+        with pytest.raises(ValueError):
+            RangeSpec(selectivity=0.5, centre_region=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            RangeSpec(selectivity=0.5, centre_region=(-0.1, 0.5))
+
+    def test_equality_spec_validation(self):
+        with pytest.raises(ValueError):
+            EqualitySpec(centre_region=(0.9, 0.1))
+
+    def test_template_validation(self):
+        with pytest.raises(ValueError):
+            QueryTemplate("empty", {})
+        with pytest.raises(ValueError):
+            QueryTemplate("zero", {"time": RangeSpec(0.1)}, count=0)
+
+
+class TestGenerateWorkload:
+    def test_query_counts_and_types(self, table):
+        templates = [
+            QueryTemplate("a", {"time": RangeSpec(0.1)}, count=7),
+            QueryTemplate("b", {"value": RangeSpec(0.2)}, count=5),
+        ]
+        workload = generate_workload(table, templates, seed=1)
+        assert len(workload) == 12
+        assert workload.query_types() == [0, 1]
+
+    def test_per_dimension_selectivity_close_to_target(self, table):
+        templates = [QueryTemplate("a", {"time": RangeSpec(0.10)}, count=30)]
+        workload = generate_workload(table, templates, seed=2)
+        selectivities = [
+            dimension_selectivity(table, "time", *query.filters()["time"])
+            for query in workload
+        ]
+        assert np.mean(selectivities) == pytest.approx(0.10, abs=0.03)
+
+    def test_centre_region_controls_skew(self, table):
+        recent = QueryTemplate(
+            "recent", {"time": RangeSpec(0.05, centre_region=(0.9, 1.0))}, count=30
+        )
+        workload = generate_workload(table, [recent], seed=3)
+        threshold = np.quantile(table.values("time"), 0.8)
+        assert all(query.filters()["time"][0] >= threshold for query in workload)
+
+    def test_equality_spec_yields_point_filters(self, table):
+        template = QueryTemplate("eq", {"value": EqualitySpec()}, count=10)
+        workload = generate_workload(table, [template], seed=4)
+        for query in workload:
+            low, high = query.filters()["value"]
+            assert low == high
+
+    def test_unknown_dimension_rejected(self, table):
+        template = QueryTemplate("bad", {"missing": RangeSpec(0.1)})
+        with pytest.raises(ValueError):
+            generate_workload(table, [template])
+
+    def test_deterministic_for_seed(self, table):
+        templates = [QueryTemplate("a", {"time": RangeSpec(0.1)}, count=5)]
+        first = generate_workload(table, templates, seed=9)
+        second = generate_workload(table, templates, seed=9)
+        assert [q.filters() for q in first] == [q.filters() for q in second]
+
+    def test_aggregate_passthrough(self, table):
+        templates = [QueryTemplate("a", {"time": RangeSpec(0.1)}, count=2)]
+        workload = generate_workload(
+            table, templates, aggregate="sum", aggregate_column="value"
+        )
+        assert all(q.aggregate == "sum" for q in workload)
+
+
+class TestScaleTemplateSelectivities:
+    def test_scaling_changes_query_selectivity(self, table):
+        base = [QueryTemplate("a", {"time": RangeSpec(0.05), "value": RangeSpec(0.05)}, count=20)]
+        narrow = generate_workload(table, scale_template_selectivities(base, 0.2), seed=5)
+        wide = generate_workload(table, scale_template_selectivities(base, 4.0), seed=5)
+        narrow_avg = np.mean([query_selectivity(table, q) for q in narrow])
+        wide_avg = np.mean([query_selectivity(table, q) for q in wide])
+        assert wide_avg > narrow_avg * 5
+
+    def test_selectivity_clamped_to_one(self):
+        base = [QueryTemplate("a", {"time": RangeSpec(0.5)}, count=1)]
+        scaled = scale_template_selectivities(base, 10.0)
+        assert scaled[0].filters["time"].selectivity == 1.0
+
+    def test_equality_specs_untouched(self):
+        base = [QueryTemplate("a", {"value": EqualitySpec()}, count=1)]
+        scaled = scale_template_selectivities(base, 3.0)
+        assert isinstance(scaled[0].filters["value"], EqualitySpec)
