@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -103,6 +104,10 @@ class ClusteredIndex(ABC):
     def _ranges_for_query(self, query: Query) -> list[RowRange]:
         """Return the physical row ranges that must be scanned for ``query``."""
 
+    def _ranges_for_queries(self, queries: Sequence[Query]) -> list[list[RowRange]]:
+        """Row ranges for a batch of queries; indexes may override to share work."""
+        return [self._ranges_for_query(query) for query in queries]
+
     # -- public API ------------------------------------------------------------------
 
     @property
@@ -129,6 +134,45 @@ class ClusteredIndex(ABC):
             aggregate_column=query.aggregate_column,
         )
         return QueryResult(value=value, stats=stats)
+
+    def execute_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of queries, sharing planning and scan work.
+
+        Results are returned in input order and are identical to calling
+        :meth:`execute` per query.  Identical queries (skewed workloads repeat
+        a small set of templates) are planned and scanned once per batch; the
+        distinct remainder shares grid-tree routing (where the index overrides
+        :meth:`_ranges_for_queries`) and column gathers / filter masks inside
+        the executor.
+        """
+        if self._executor is None:
+            raise IndexBuildError(f"{self.name} has not been built yet")
+        queries = list(queries)
+        if not queries:
+            return []
+        # Queries are hashable value objects: dedupe before planning so every
+        # repeated template pays for planning and scanning exactly once.
+        positions: dict[Query, int] = {}
+        distinct: list[Query] = []
+        order: list[int] = []
+        for query in queries:
+            position = positions.get(query)
+            if position is None:
+                position = len(distinct)
+                positions[query] = position
+                distinct.append(query)
+            order.append(position)
+        ranges_per_query = self._ranges_for_queries(distinct)
+        outcomes = self._executor.execute_batch(
+            ranges_per_query,
+            [query.filters() for query in distinct],
+            [query.aggregate for query in distinct],
+            [query.aggregate_column for query in distinct],
+        )
+        return [
+            QueryResult(value=outcomes[position][0], stats=outcomes[position][1].copy())
+            for position in order
+        ]
 
     def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
         """Execute every query in ``workload`` and return results plus total work."""

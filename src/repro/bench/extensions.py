@@ -154,7 +154,7 @@ def experiment_outlier_mappings(
         ranges_total = 0
         for query in workload:
             spans, features = grid.plan(query)
-            scanned += features.scanned_points
+            scanned += features.points_scanned
             ranges_total += features.num_cell_ranges
         rows.append(
             {

@@ -15,6 +15,16 @@ cell.  Queries are planned by enumerating intersecting cells (respecting the
 conditional-CDF dependency structure), converted to contiguous cell ranges,
 and either executed against the table or returned as cost-model features —
 the optimizer (§5.3) uses the same planning code on a data sample.
+
+Two planners produce identical spans:
+
+* ``planner="vectorized"`` (default) computes every per-dimension partition
+  window once, expands the cross product of the *outer* dimensions with numpy
+  stride arithmetic, and emits one coalesced span per outer-dimension prefix
+  — cells consecutive in the innermost dimension occupy contiguous physical
+  rows, so no per-cell Python work is needed.
+* ``planner="reference"`` is the original per-cell recursive enumeration,
+  kept for differential testing.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import numpy as np
 from repro.common.errors import IndexBuildError, OptimizationError
 from repro.core.cost_model import QueryPlanFeatures
 from repro.core.outliers import OutlierBoundedMapping
+from repro.core.query_types import PlanCache
 from repro.core.skeleton import (
     ConditionalCDFStrategy,
     FunctionalMappingStrategy,
@@ -104,10 +115,30 @@ class _CellHit:
     exact: bool
 
 
-class AugmentedGrid:
-    """A fitted Augmented Grid over one region's rows."""
+#: Valid values of :class:`AugmentedGrid`'s ``planner`` argument.
+PLANNERS = ("vectorized", "reference")
 
-    def __init__(self, config: AugmentedGridConfig) -> None:
+
+class AugmentedGrid:
+    """A fitted Augmented Grid over one region's rows.
+
+    ``planner`` selects the query-planning implementation (see module
+    docstring); ``plan_cache`` optionally memoizes planned spans under the
+    query's type and quantized (partition-window) bounds so skewed workloads
+    reuse plans instead of re-planning.  The cache is cleared by :meth:`fit`
+    because spans are offsets into the clustered row order.
+    """
+
+    def __init__(
+        self,
+        config: AugmentedGridConfig,
+        planner: str = "vectorized",
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        if planner not in PLANNERS:
+            raise ValueError(f"unknown planner {planner!r}; expected one of {PLANNERS}")
+        self.planner = planner
+        self.plan_cache = plan_cache
         self.config = config.validated()
         self.skeleton = config.skeleton
         # Grid-dimension order: independents first so conditional dimensions
@@ -123,6 +154,11 @@ class AugmentedGrid:
             if isinstance(self.skeleton.strategy_for(dim), ConditionalCDFStrategy)
         ]
         self.grid_dimensions: list[str] = independents + conditionals
+        # Independent dimensions some conditional dimension partitions against;
+        # the vectorized planner tracks partition assignments only for these.
+        self._base_dims: set[str] = {
+            self.skeleton.strategy_for(dim).base for dim in conditionals
+        }
         self._strides: dict[str, int] = {}
         self._cdf_models: dict[str, EmpiricalCDF] = {}
         self._conditional_models: dict[str, ConditionalCDF] = {}
@@ -246,6 +282,9 @@ class AugmentedGrid:
         counts = np.bincount(sorted_cells, minlength=total_cells)
         self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._fitted = True
+        if self.plan_cache is not None:
+            # Cached spans are offsets into the previous clustered order.
+            self.plan_cache.clear()
         return permutation
 
     # -- planning ------------------------------------------------------------------
@@ -307,6 +346,212 @@ class AugmentedGrid:
             low, high, base_partition, num_partitions
         )
 
+    def _window_table(
+        self, query: Query
+    ) -> dict[str, tuple[int, int] | tuple[np.ndarray, np.ndarray]]:
+        """Every grid dimension's partition window(s) for ``query``.
+
+        Independent dimensions map to one inclusive ``(first, last)`` window.
+        Conditional dimensions map to two parallel int arrays holding one
+        window per base partition inside the base dimension's own window
+        (empty windows are encoded as ``first > last``).  This table is the
+        query's *quantized bounds*: it fully determines the planned spans, so
+        it doubles as the plan-cache key material.
+        """
+        bounds = self._effective_bounds(query)
+        windows: dict[str, tuple[int, int] | tuple[np.ndarray, np.ndarray]] = {}
+        for dim in self.grid_dimensions:
+            strategy = self.skeleton.strategy_for(dim)
+            if isinstance(strategy, IndependentCDFStrategy):
+                windows[dim] = self._partition_window(dim, bounds, {})
+                continue
+            assert isinstance(strategy, ConditionalCDFStrategy)
+            base_window = windows[strategy.base]
+            base_first, base_last = base_window  # bases are independent
+            num_base = max(int(base_last) - int(base_first) + 1, 0)
+            count = self.config.partitions[dim]
+            if dim not in bounds or count == 1:
+                firsts = np.zeros(num_base, dtype=np.int64)
+                lasts = np.full(num_base, count - 1, dtype=np.int64)
+            else:
+                low, high = bounds[dim]
+                firsts = np.empty(num_base, dtype=np.int64)
+                lasts = np.empty(num_base, dtype=np.int64)
+                if high < low:
+                    firsts[:] = 1
+                    lasts[:] = 0
+                else:
+                    model = self._conditional_models[dim]
+                    for position, base_partition in enumerate(
+                        range(int(base_first), int(base_last) + 1)
+                    ):
+                        first, last = model.partition_range(
+                            low, high, base_partition, count
+                        )
+                        firsts[position] = first
+                        lasts[position] = last
+            windows[dim] = (firsts, lasts)
+        return windows
+
+    def _plan_key(self, query: Query, windows: dict) -> tuple:
+        """Plan-cache key: query type + filtered dims + quantized bounds."""
+        signature = []
+        for dim in self.grid_dimensions:
+            window = windows[dim]
+            if isinstance(window[0], np.ndarray):
+                signature.append((tuple(window[0].tolist()), tuple(window[1].tolist())))
+            else:
+                signature.append((int(window[0]), int(window[1])))
+        return (
+            query.query_type,
+            tuple(sorted(query.filtered_dimensions)),
+            tuple(signature),
+        )
+
+    def _vectorized_spans(
+        self, query: Query, windows: dict
+    ) -> list[tuple[int, int, bool]]:
+        """Coalesced ``(start, stop, exact)`` spans, without per-cell work.
+
+        The cross product of the outer dimensions' windows is expanded with
+        numpy broadcasting (ragged conditional windows via ``np.repeat``); the
+        innermost dimension's window then yields at most three spans per
+        prefix — the two boundary cells and the exact interior run — because
+        consecutive innermost cells are physically contiguous.  Output is
+        byte-identical to the reference recursive planner.
+        """
+        assert self._offsets is not None
+        offsets = self._offsets
+        dims = self.grid_dimensions
+        filtered_dims = set(query.filtered_dimensions)
+        exactness_possible = filtered_dims.issubset(set(dims))
+
+        if not dims:
+            start, stop = int(offsets[0]), int(offsets[1])
+            if stop <= start:
+                return []
+            return [(start, stop, exactness_possible)]
+
+        cell_base = np.zeros(1, dtype=np.int64)
+        exact = np.full(1, exactness_possible)
+        part_ids: dict[str, np.ndarray] = {}
+
+        for dim in dims[:-1]:
+            stride = self._strides[dim]
+            query_filters_dim = dim in filtered_dims
+            strategy = self.skeleton.strategy_for(dim)
+            if isinstance(strategy, IndependentCDFStrategy):
+                first, last = windows[dim]
+                if first > last:
+                    return []
+                parts = np.arange(first, last + 1, dtype=np.int64)
+                width = parts.size
+                if query_filters_dim:
+                    interior = (parts > first) & (parts < last)
+                    exact = (exact[:, None] & interior[None, :]).reshape(-1)
+                else:
+                    exact = np.repeat(exact, width)
+                previous_size = cell_base.size
+                cell_base = (cell_base[:, None] + parts[None, :] * stride).reshape(-1)
+                part_ids = {d: np.repeat(a, width) for d, a in part_ids.items()}
+                if dim in self._base_dims:
+                    part_ids[dim] = np.tile(parts, previous_size)
+            else:
+                firsts_w, lasts_w = windows[dim]
+                base = strategy.base
+                base_first = int(windows[base][0])
+                index = part_ids[base] - base_first
+                firsts = firsts_w[index]
+                lasts = lasts_w[index]
+                lengths = np.maximum(lasts - firsts + 1, 0)
+                total = int(lengths.sum())
+                if total == 0:
+                    return []
+                repeats = np.repeat(np.arange(cell_base.size), lengths)
+                run_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+                parts = np.arange(total) - run_starts[repeats] + firsts[repeats]
+                if query_filters_dim:
+                    exact = exact[repeats] & (parts > firsts[repeats]) & (parts < lasts[repeats])
+                else:
+                    exact = exact[repeats]
+                cell_base = cell_base[repeats] + parts * stride
+                part_ids = {d: a[repeats] for d, a in part_ids.items()}
+
+        innermost = dims[-1]
+        strategy = self.skeleton.strategy_for(innermost)
+        if isinstance(strategy, IndependentCDFStrategy):
+            first, last = windows[innermost]
+            if first > last:
+                return []
+            firsts = np.full(cell_base.size, first, dtype=np.int64)
+            lasts = np.full(cell_base.size, last, dtype=np.int64)
+        else:
+            firsts_w, lasts_w = windows[innermost]
+            base = strategy.base
+            base_first = int(windows[base][0])
+            index = part_ids[base] - base_first
+            firsts = firsts_w[index]
+            lasts = lasts_w[index]
+            valid = lasts >= firsts
+            if not valid.all():
+                cell_base = cell_base[valid]
+                exact = exact[valid]
+                firsts = firsts[valid]
+                lasts = lasts[valid]
+        if cell_base.size == 0:
+            return []
+
+        # The innermost stride is 1: cells [base+first, base+last] are one
+        # contiguous physical run.  A prefix whose exactness survived emits
+        # its two boundary cells inexactly and the interior exactly; any
+        # other prefix is a single span.
+        query_filters_innermost = innermost in filtered_dims
+        low_cell = cell_base + firsts
+        high_cell = cell_base + lasts + 1
+        decomposed = exact & query_filters_innermost
+        multi = decomposed & (lasts > firsts)
+
+        num_prefixes = cell_base.size
+        span_lo = np.zeros((num_prefixes, 3), dtype=np.int64)
+        span_hi = np.zeros((num_prefixes, 3), dtype=np.int64)
+        span_exact = np.zeros((num_prefixes, 3), dtype=bool)
+        span_lo[:, 0] = low_cell
+        span_hi[:, 0] = np.where(decomposed, low_cell + 1, high_cell)
+        span_exact[:, 0] = np.where(decomposed, False, exact)
+        span_lo[:, 1] = np.where(multi, low_cell + 1, 0)
+        span_hi[:, 1] = np.where(multi, high_cell - 1, 0)
+        span_exact[:, 1] = multi
+        span_lo[:, 2] = np.where(multi, high_cell - 1, 0)
+        span_hi[:, 2] = np.where(multi, high_cell, 0)
+
+        cell_lo = span_lo.reshape(-1)
+        cell_hi = span_hi.reshape(-1)
+        flags = span_exact.reshape(-1)
+        keep = cell_lo < cell_hi
+        cell_lo, cell_hi, flags = cell_lo[keep], cell_hi[keep], flags[keep]
+
+        row_start = offsets[cell_lo]
+        row_stop = offsets[cell_hi]
+        keep = row_start < row_stop
+        row_start, row_stop, flags = row_start[keep], row_stop[keep], flags[keep]
+        if row_start.size == 0:
+            return []
+
+        # Coalesce row-contiguous spans agreeing on exactness (the candidates
+        # are already sorted and non-overlapping by construction).
+        breaks = np.empty(row_start.size, dtype=bool)
+        breaks[0] = True
+        breaks[1:] = (row_start[1:] != row_stop[:-1]) | (flags[1:] != flags[:-1])
+        first_index = np.flatnonzero(breaks)
+        last_index = np.append(first_index[1:], row_start.size) - 1
+        return list(
+            zip(
+                row_start[first_index].tolist(),
+                row_stop[last_index].tolist(),
+                flags[first_index].tolist(),
+            )
+        )
+
     def _enumerate_cells(self, query: Query) -> list[_CellHit]:
         """All cells intersecting ``query``, with per-cell exactness flags."""
         bounds = self._effective_bounds(query)
@@ -359,11 +604,21 @@ class AugmentedGrid:
     def plan(self, query: Query) -> tuple[list[tuple[int, int, bool]], QueryPlanFeatures]:
         """Plan ``query``: relative row ranges plus cost-model features."""
         self._require_fitted()
-        hits = self._enumerate_cells(query)
-        spans = self._hits_to_ranges(hits)
+        if self.planner == "reference":
+            spans = self._hits_to_ranges(self._enumerate_cells(query))
+        else:
+            windows = self._window_table(query)
+            if self.plan_cache is not None:
+                key = self._plan_key(query, windows)
+                spans = self.plan_cache.get(key)
+                if spans is None:
+                    spans = self._vectorized_spans(query, windows)
+                    self.plan_cache.put(key, spans)
+            else:
+                spans = self._vectorized_spans(query, windows)
         features = QueryPlanFeatures(
             num_cell_ranges=len(spans),
-            scanned_points=sum(stop - start for start, stop, _ in spans),
+            points_scanned=sum(stop - start for start, stop, _ in spans),
             num_filtered_dimensions=query.num_filtered_dimensions,
         )
         return spans, features

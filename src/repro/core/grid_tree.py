@@ -16,6 +16,7 @@ thresholds, in which case the node becomes a leaf region.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -308,6 +309,42 @@ class GridTree:
                     descend(child)
 
         descend(root)
+        return result
+
+    def regions_for_queries(self, queries: Sequence[Query]) -> list[list[GridTreeNode]]:
+        """Intersecting leaf regions for every query, in one tree traversal.
+
+        Equivalent to ``[self.regions_for_query(q) for q in queries]`` but the
+        tree is descended once with the whole batch: at each inner node the
+        batch is split among the children, so shared prefixes of the
+        traversal are paid once per batch instead of once per query.
+        """
+        root = self._require_fitted()
+        result: list[list[GridTreeNode]] = [[] for _ in queries]
+
+        def descend(node: GridTreeNode, members: list[int]) -> None:
+            if node.is_leaf:
+                for position in members:
+                    result[position].append(node)
+                return
+            low, high = node.bounds[node.split_dimension]
+            boundaries = [low, *node.split_values, high]
+            predicates = [
+                (position, queries[position].predicate_for(node.split_dimension))
+                for position in members
+            ]
+            for index, child in enumerate(node.children):
+                child_low, child_high = boundaries[index], boundaries[index + 1]
+                surviving = [
+                    position
+                    for position, predicate in predicates
+                    if predicate is None
+                    or (predicate.high >= child_low and predicate.low < child_high)
+                ]
+                if surviving:
+                    descend(child, surviving)
+
+        descend(root, list(range(len(queries))))
         return result
 
     def describe(self) -> dict:

@@ -121,7 +121,7 @@ class ConfigurationEvaluator:
             features.append(
                 QueryPlanFeatures(
                     num_cell_ranges=raw.num_cell_ranges,
-                    scanned_points=int(round(raw.scanned_points * self.scale)),
+                    points_scanned=int(round(raw.points_scanned * self.scale)),
                     num_filtered_dimensions=raw.num_filtered_dimensions,
                 )
             )

@@ -17,6 +17,9 @@ nearest cluster (or become singleton types when a group is all noise).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.common.rng import make_rng
@@ -87,6 +90,79 @@ def cluster_query_types(
             labelled[position] = query.with_type(remapped[int(label)])
 
     return Workload([q for q in labelled if q is not None], name=workload.name)
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "PlanCacheStats") -> "PlanCacheStats":
+        """Accumulate another stats object into this one (in place)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        return self
+
+
+class PlanCache:
+    """An LRU cache of query plans keyed by query type + quantized bounds.
+
+    Skewed workloads (§4) repeat a small set of query templates; two queries
+    whose predicate bounds quantize to the same per-dimension *partition
+    windows* visit exactly the same grid cells with the same exactness flags
+    (the CDF models are monotone, so every partition strictly inside a window
+    lies inside *any* filter range producing that window).  Caching the
+    planned spans under ``(query_type, filtered dimensions, windows)`` is
+    therefore lossless: a hit replays the identical plan, and scan-time
+    filtering still uses the live query's exact bounds.
+
+    The cache must be dropped whenever the physical layout changes (rebuild or
+    :meth:`~repro.core.tsunami.TsunamiIndex.reoptimize`): cached spans are
+    offsets into the clustered row order.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = PlanCacheStats()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
+        """Return the cached plan for ``key``, or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, plan) -> None:
+        """Insert ``plan`` under ``key``, evicting the LRU entry when full."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics (layout invalidation)."""
+        self._entries.clear()
+        self.stats = PlanCacheStats()
 
 
 def queries_by_type(workload: Workload) -> dict[int, list[Query]]:

@@ -32,7 +32,7 @@ from repro.core.optimizer import (
     OptimizerResult,
     initialize_partitions,
 )
-from repro.core.query_types import cluster_query_types
+from repro.core.query_types import PlanCache, PlanCacheStats, cluster_query_types
 from repro.core.skeleton import Skeleton
 from repro.query.query import Query
 from repro.query.workload import Workload
@@ -48,11 +48,18 @@ class TsunamiConfig:
     ``use_grid_tree=False`` yields the Augmented-Grid-only variant,
     ``use_augmented_strategies=False`` yields the Grid-Tree-only variant
     (a Flood-style independent grid inside each region).
+
+    ``planner`` selects the Augmented Grid planning implementation
+    (``"vectorized"`` or ``"reference"``, see
+    :mod:`repro.core.augmented_grid`); ``plan_cache_entries`` sizes the
+    per-region plan cache (0 disables caching).
     """
 
     grid_tree: GridTreeConfig = field(default_factory=GridTreeConfig)
     use_grid_tree: bool = True
     use_augmented_strategies: bool = True
+    planner: str = "vectorized"
+    plan_cache_entries: int = 4096
     cost_model: CostModel = field(default_factory=CostModel)
     optimizer_iterations: int = 4
     optimizer_sample_rows: int = 10_000
@@ -216,7 +223,14 @@ class TsunamiIndex(ClusteredIndex):
             grid: AugmentedGrid | None = None
             if len(row_ids) > 0 and config is not None:
                 region_table = table.subset(row_ids, name=f"{table.name}_r{region_id}")
-                grid = AugmentedGrid(config)
+                plan_cache = (
+                    PlanCache(self.config.plan_cache_entries)
+                    if self.config.plan_cache_entries > 0
+                    else None
+                )
+                grid = AugmentedGrid(
+                    config, planner=self.config.planner, plan_cache=plan_cache
+                )
                 relative_permutation = grid.fit(region_table)
                 chunks.append(row_ids[relative_permutation])
             else:
@@ -237,16 +251,11 @@ class TsunamiIndex(ClusteredIndex):
 
     # -- query processing (§3) -------------------------------------------------------
 
-    def _ranges_for_query(self, query: Query) -> list[RowRange]:
-        if not self._regions:
-            raise IndexBuildError("Tsunami index has not been built")
-        if self.grid_tree is not None:
-            nodes = self.grid_tree.regions_for_query(query)
-            region_ids = {node.region_id for node in nodes}
-            regions = [r for r in self._regions if r.node.region_id in region_ids]
-        else:
-            regions = self._regions
+    def _regions_by_id(self, region_ids: set[int]) -> list[_RegionIndex]:
+        return [r for r in self._regions if r.node.region_id in region_ids]
 
+    def _region_ranges(self, query: Query, regions: list[_RegionIndex]) -> list[RowRange]:
+        """Row ranges for ``query`` across the given (pre-routed) regions."""
         ranges: list[RowRange] = []
         for region in regions:
             if region.num_rows == 0:
@@ -266,6 +275,30 @@ class TsunamiIndex(ClusteredIndex):
             )
         return ranges
 
+    def _ranges_for_query(self, query: Query) -> list[RowRange]:
+        if not self._regions:
+            raise IndexBuildError("Tsunami index has not been built")
+        if self.grid_tree is not None:
+            nodes = self.grid_tree.regions_for_query(query)
+            regions = self._regions_by_id({node.region_id for node in nodes})
+        else:
+            regions = self._regions
+        return self._region_ranges(query, regions)
+
+    def _ranges_for_queries(self, queries) -> list[list[RowRange]]:
+        """Batch planning: route every query through the Grid Tree in one pass."""
+        if not self._regions:
+            raise IndexBuildError("Tsunami index has not been built")
+        if self.grid_tree is None:
+            return [self._region_ranges(query, self._regions) for query in queries]
+        routed = self.grid_tree.regions_for_queries(queries)
+        return [
+            self._region_ranges(
+                query, self._regions_by_id({node.region_id for node in nodes})
+            )
+            for query, nodes in zip(queries, routed)
+        ]
+
     # -- adaptability (§6.4) ------------------------------------------------------------
 
     def reoptimize(self, workload: Workload) -> float:
@@ -280,6 +313,27 @@ class TsunamiIndex(ClusteredIndex):
         return time.perf_counter() - start
 
     # -- reporting -------------------------------------------------------------------------
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """Aggregated plan-cache statistics across every region's grid.
+
+        Caches are recreated (empty, zeroed stats) whenever the index is
+        rebuilt or :meth:`reoptimize` re-organizes the layout, because cached
+        spans address the previous physical row order.
+        """
+        total = PlanCacheStats()
+        for region in self._regions:
+            if region.grid is not None and region.grid.plan_cache is not None:
+                total.merge(region.grid.plan_cache.stats)
+        return total
+
+    def plan_cache_entries(self) -> int:
+        """Number of plans currently cached across all regions."""
+        return sum(
+            len(region.grid.plan_cache)
+            for region in self._regions
+            if region.grid is not None and region.grid.plan_cache is not None
+        )
 
     def index_size_bytes(self) -> int:
         total = self.grid_tree.size_bytes() if self.grid_tree is not None else 64

@@ -1,11 +1,20 @@
-"""Reference query execution without any index (full scan).
+"""Query execution entry points.
 
-Used as the ground-truth oracle in tests and as the implicit "no index"
-baseline: every index's answer to every query must equal the full-scan answer.
+:func:`execute_full_scan` is the reference execution without any index, used
+as the ground-truth oracle in tests and as the implicit "no index" baseline:
+every index's answer to every query must equal the full-scan answer.
+
+:class:`QueryEngine` is the serving-path front door: it wraps a built index
+(or falls back to full scans) and exposes both single-query execution and the
+batched pipeline, which shares grid-tree routing, plan-cache lookups, column
+gathers, and filter masks across the queries of one batch.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
+from repro.common.errors import QueryError
 from repro.query.query import Query
 from repro.storage.scan import RowRange, ScanExecutor, ScanStats
 from repro.storage.table import Table
@@ -25,3 +34,57 @@ def execute_full_scan(table: Table, query: Query) -> tuple[float, ScanStats]:
         aggregate=query.aggregate,
         aggregate_column=query.aggregate_column,
     )
+
+
+class QueryEngine:
+    """Executes queries through a built index, with a batched fast path.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.baselines.base.ClusteredIndex`.  ``None``
+        answers every query by full scan over ``table`` instead.
+    table:
+        Required when ``index`` is ``None``; ignored otherwise.
+    """
+
+    def __init__(self, index=None, table: Table | None = None) -> None:
+        if index is None and table is None:
+            raise QueryError("QueryEngine needs an index or a table")
+        if index is not None and not index.is_built:
+            raise QueryError(f"index {index.name!r} has not been built yet")
+        self._index = index
+        self._table = table if index is None else index.table
+
+    @property
+    def table(self) -> Table:
+        """The table queries run against."""
+        return self._table
+
+    def run(self, query: Query):
+        """Answer one query; returns a ``QueryResult``."""
+        from repro.baselines.base import QueryResult
+
+        if self._index is not None:
+            return self._index.execute(query)
+        value, stats = execute_full_scan(self._table, query)
+        return QueryResult(value=value, stats=stats)
+
+    def run_batch(self, queries: Sequence[Query], batch_size: int | None = None):
+        """Answer ``queries`` in batches, in input order.
+
+        ``batch_size`` bounds how many queries share one executor batch (and
+        therefore its slice/mask/result caches); ``None`` runs the whole
+        sequence as a single batch.  Results are identical to calling
+        :meth:`run` per query.
+        """
+        queries = list(queries)
+        if batch_size is not None and batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        if self._index is None:
+            return [self.run(query) for query in queries]
+        step = batch_size or max(len(queries), 1)
+        results = []
+        for start in range(0, len(queries), step):
+            results.extend(self._index.execute_batch(queries[start : start + step]))
+        return results

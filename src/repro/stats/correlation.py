@@ -52,7 +52,18 @@ class BoundedLinearModel:
         if y.size == 1 or float(np.ptp(y)) == 0.0:
             slope, intercept = 0.0, float(np.mean(x))
         else:
-            slope, intercept = np.polyfit(y, x, deg=1)
+            # Near-degenerate inputs (e.g. subnormal spreads) can make the
+            # least-squares scaling inside polyfit blow up; any finite
+            # (slope, intercept) is valid because the error bounds below are
+            # computed from the actual residuals, so fall back to a constant
+            # model rather than failing the whole index build.
+            try:
+                with np.errstate(all="ignore"):
+                    slope, intercept = np.polyfit(y, x, deg=1)
+            except np.linalg.LinAlgError:
+                slope, intercept = 0.0, float(np.mean(x))
+            if not (np.isfinite(slope) and np.isfinite(intercept)):
+                slope, intercept = 0.0, float(np.mean(x))
         predictions = slope * y + intercept
         residuals = x - predictions
         # error_low is how far the prediction can overshoot the true minimum,

@@ -24,7 +24,7 @@ from repro.common.errors import QueryError
 from repro.storage.table import Table
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RowRange:
     """A contiguous physical row range ``[start, stop)``.
 
@@ -61,6 +61,15 @@ class ScanStats:
         self.dims_accessed += other.dims_accessed
         return self
 
+    def copy(self) -> "ScanStats":
+        """An independent copy (batch paths hand out one per query)."""
+        return ScanStats(
+            points_scanned=self.points_scanned,
+            cell_ranges=self.cell_ranges,
+            rows_matched=self.rows_matched,
+            dims_accessed=self.dims_accessed,
+        )
+
     @property
     def scan_work(self) -> int:
         """The cost-model scan term: points scanned times filtered dimensions."""
@@ -73,8 +82,20 @@ def coalesce_ranges(ranges: Iterable[RowRange]) -> list[RowRange]:
     Adjacent ranges are only merged when they agree on ``exact``: merging an
     exact range into an inexact one would either lose the optimization or
     wrongly extend it.
+
+    Planners emit ranges already ordered by ``(start, stop)``, so the common
+    case skips the sort entirely.
     """
-    ordered = sorted(ranges, key=lambda r: (r.start, r.stop))
+    ordered = ranges if isinstance(ranges, list) else list(ranges)
+    previous: RowRange | None = None
+    for current in ordered:
+        if previous is not None and (
+            current.start < previous.start
+            or (current.start == previous.start and current.stop < previous.stop)
+        ):
+            ordered = sorted(ordered, key=lambda r: (r.start, r.stop))
+            break
+        previous = current
     merged: list[RowRange] = []
     for current in ordered:
         if len(current) == 0:
@@ -100,17 +121,59 @@ class ScanExecutor:
         """The clustered table this executor scans."""
         return self._table
 
+    def _slice(
+        self,
+        dim: str,
+        start: int,
+        stop: int,
+        slice_cache: dict | None = None,
+    ) -> np.ndarray:
+        """Column values in ``[start, stop)``, optionally cached across a batch."""
+        if slice_cache is None:
+            return self._table.column(dim).slice(start, stop)
+        key = (dim, start, stop)
+        values = slice_cache.get(key)
+        if values is None:
+            values = self._table.column(dim).slice(start, stop)
+            slice_cache[key] = values
+        return values
+
     def _filter_mask(
         self,
         start: int,
         stop: int,
         filters: Mapping[str, tuple[int, int]],
+        slice_cache: dict | None = None,
+        mask_cache: dict | None = None,
     ) -> np.ndarray:
-        """Boolean mask of rows in ``[start, stop)`` matching every filter."""
+        """Boolean mask of rows in ``[start, stop)`` matching every filter.
+
+        Inside a batch, queries of the same type scan the same merged ranges
+        with the same (or overlapping) predicates; the caches let those
+        queries reuse both the gathered column slices and the per-dimension
+        comparison masks instead of recomputing them.
+        """
+        key = None
+        if mask_cache is not None:
+            key = (start, stop, tuple(sorted(filters.items())))
+            cached = mask_cache.get(key)
+            if cached is not None:
+                return cached
         mask = np.ones(stop - start, dtype=bool)
         for dim, (low, high) in filters.items():
-            values = self._table.column(dim).slice(start, stop)
-            mask &= (values >= low) & (values <= high)
+            dim_mask = None
+            dim_key = None
+            if mask_cache is not None:
+                dim_key = (start, stop, dim, low, high)
+                dim_mask = mask_cache.get(dim_key)
+            if dim_mask is None:
+                values = self._slice(dim, start, stop, slice_cache)
+                dim_mask = (values >= low) & (values <= high)
+                if mask_cache is not None:
+                    mask_cache[dim_key] = dim_mask
+            mask &= dim_mask
+        if mask_cache is not None:
+            mask_cache[key] = mask
         return mask
 
     def execute(
@@ -138,6 +201,11 @@ class ScanExecutor:
         (result, stats):
             The aggregate value and the work counters for this query.
         """
+        self._validate_aggregate(aggregate, aggregate_column)
+        merged = coalesce_ranges(ranges)
+        return self._execute_merged(merged, filters, aggregate, aggregate_column)
+
+    def _validate_aggregate(self, aggregate: str, aggregate_column: str | None) -> None:
         if aggregate not in {"count", "sum", "avg", "min", "max"}:
             raise QueryError(f"unsupported aggregate {aggregate!r}")
         if aggregate != "count" and aggregate_column is None:
@@ -148,8 +216,17 @@ class ScanExecutor:
                 f"{self._table.name!r}"
             )
 
+    def _execute_merged(
+        self,
+        merged: Sequence[RowRange],
+        filters: Mapping[str, tuple[int, int]],
+        aggregate: str,
+        aggregate_column: str | None,
+        slice_cache: dict | None = None,
+        mask_cache: dict | None = None,
+    ) -> tuple[float, ScanStats]:
+        """Scan already-coalesced ranges; the caches are shared across a batch."""
         stats = ScanStats(dims_accessed=len(filters))
-        merged = coalesce_ranges(ranges)
         stats.cell_ranges = len(merged)
 
         count = 0
@@ -171,17 +248,17 @@ class ScanExecutor:
                     count += matched
                     stats.rows_matched += matched
                     continue
-                values = self._table.column(aggregate_column).slice(start, stop)
+                values = self._slice(aggregate_column, start, stop, slice_cache)
                 stats.points_scanned += length
             else:
                 stats.points_scanned += length
-                mask = self._filter_mask(start, stop, filters)
+                mask = self._filter_mask(start, stop, filters, slice_cache, mask_cache)
                 matched = int(mask.sum())
                 if aggregate == "count":
                     count += matched
                     stats.rows_matched += matched
                     continue
-                values = self._table.column(aggregate_column).slice(start, stop)[mask]
+                values = self._slice(aggregate_column, start, stop, slice_cache)[mask]
 
             count += matched
             stats.rows_matched += matched
@@ -205,3 +282,66 @@ class ScanExecutor:
         if aggregate == "min":
             return minimum if minimum is not None else float("nan"), stats
         return maximum if maximum is not None else float("nan"), stats
+
+    def execute_batch(
+        self,
+        ranges_per_query: Sequence[Sequence[RowRange]],
+        filters_per_query: Sequence[Mapping[str, tuple[int, int]]],
+        aggregates: Sequence[str] | str = "count",
+        aggregate_columns: Sequence[str | None] | str | None = None,
+    ) -> list[tuple[float, ScanStats]]:
+        """Execute a batch of queries with shared physical work.
+
+        Results are returned in input order and are identical to calling
+        :meth:`execute` per query.  The batch path shares three caches across
+        the queries:
+
+        * column slices gathered per merged range (one gather serves every
+          query that scans the range),
+        * per-dimension and conjunctive filter masks (skewed workloads repeat
+          predicates, so boundary-range filtering is paid once per distinct
+          predicate instead of once per query),
+        * whole results for queries whose merged ranges, filters, and
+          aggregation coincide (common-subexpression elimination across the
+          batch; duplicated queries still report their full logical
+          :class:`ScanStats`, only the physical work is shared).
+        """
+        if len(ranges_per_query) != len(filters_per_query):
+            raise QueryError(
+                "execute_batch needs one filter mapping per range list "
+                f"({len(ranges_per_query)} != {len(filters_per_query)})"
+            )
+        num_queries = len(ranges_per_query)
+        if isinstance(aggregates, str):
+            aggregates = [aggregates] * num_queries
+        if aggregate_columns is None or isinstance(aggregate_columns, str):
+            aggregate_columns = [aggregate_columns] * num_queries
+        if len(aggregates) != num_queries or len(aggregate_columns) != num_queries:
+            raise QueryError("aggregate specs must match the number of queries")
+
+        slice_cache: dict = {}
+        mask_cache: dict = {}
+        result_cache: dict = {}
+        results: list[tuple[float, ScanStats]] = []
+        for ranges, filters, aggregate, aggregate_column in zip(
+            ranges_per_query, filters_per_query, aggregates, aggregate_columns
+        ):
+            self._validate_aggregate(aggregate, aggregate_column)
+            merged = coalesce_ranges(ranges)
+            key = (
+                tuple((r.start, r.stop, r.exact) for r in merged),
+                tuple(sorted(filters.items())),
+                aggregate,
+                aggregate_column,
+            )
+            cached = result_cache.get(key)
+            if cached is not None:
+                value, stats = cached
+            else:
+                value, stats = self._execute_merged(
+                    merged, filters, aggregate, aggregate_column,
+                    slice_cache, mask_cache,
+                )
+                result_cache[key] = (value, stats)
+            results.append((value, stats.copy()))
+        return results

@@ -90,3 +90,53 @@ class TestQueriesByType:
         )
         groups = queries_by_type(workload)
         assert len(groups[0]) == 2 and len(groups[1]) == 1
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        from repro.core.query_types import PlanCache
+
+        cache = PlanCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), [(0, 5, True)])
+        assert cache.get(("k",)) == [(0, 5, True)]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        from repro.core.query_types import PlanCache
+
+        cache = PlanCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh "a"; "b" becomes LRU
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.stats.evictions == 1
+
+    def test_clear_resets_entries_and_stats(self):
+        from repro.core.query_types import PlanCache
+
+        cache = PlanCache()
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        from repro.core.query_types import PlanCache
+
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_stats_merge_and_hit_rate(self):
+        from repro.core.query_types import PlanCacheStats
+
+        total = PlanCacheStats(hits=3, misses=1)
+        total.merge(PlanCacheStats(hits=1, misses=3, evictions=2))
+        assert (total.hits, total.misses, total.evictions) == (4, 4, 2)
+        assert total.hit_rate == 0.5
+        assert PlanCacheStats().hit_rate == 0.0

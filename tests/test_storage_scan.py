@@ -131,3 +131,81 @@ class TestScanStats:
         stats = ScanStats(points_scanned=10, dims_accessed=3)
         assert stats.scan_work == 30
         assert ScanStats(points_scanned=10).scan_work == 10
+
+
+class TestCoalesceSortedFastPath:
+    def test_sorted_input_not_resorted(self):
+        ranges = [RowRange(0, 3), RowRange(3, 6, exact=True), RowRange(8, 9)]
+        assert coalesce_ranges(ranges) == [
+            RowRange(0, 3),
+            RowRange(3, 6, exact=True),
+            RowRange(8, 9),
+        ]
+
+    def test_unsorted_input_still_sorted(self):
+        merged = coalesce_ranges([RowRange(5, 10), RowRange(0, 5)])
+        assert merged == [RowRange(0, 10)]
+
+    def test_equal_starts_ordered_by_stop(self):
+        merged = coalesce_ranges([RowRange(0, 8), RowRange(0, 3)])
+        assert merged == [RowRange(0, 8)]
+
+    def test_caller_list_not_mutated(self):
+        ranges = [RowRange(5, 10), RowRange(0, 5)]
+        coalesce_ranges(ranges)
+        assert ranges == [RowRange(5, 10), RowRange(0, 5)]
+
+    def test_row_range_uses_slots(self):
+        with pytest.raises((AttributeError, TypeError)):
+            object.__setattr__(RowRange(0, 1), "extra", 1)
+
+
+class TestExecuteBatch:
+    def test_matches_single_execution_in_order(self, table):
+        executor = ScanExecutor(table)
+        specs = [
+            ([RowRange(0, 10)], {"a": (2, 7)}),
+            ([RowRange(0, 5, exact=True)], {"a": (0, 4)}),
+            ([RowRange(0, 10)], {"b": (5, 5)}),
+            ([RowRange(0, 10)], {"a": (2, 7)}),  # duplicate of the first
+        ]
+        batched = executor.execute_batch(
+            [ranges for ranges, _ in specs], [filters for _, filters in specs]
+        )
+        assert len(batched) == len(specs)
+        for (ranges, filters), (value, stats) in zip(specs, batched):
+            expected_value, expected_stats = executor.execute(ranges, filters)
+            assert value == expected_value
+            assert stats.points_scanned == expected_stats.points_scanned
+            assert stats.cell_ranges == expected_stats.cell_ranges
+            assert stats.rows_matched == expected_stats.rows_matched
+
+    def test_duplicate_queries_report_independent_stats(self, table):
+        executor = ScanExecutor(table)
+        batched = executor.execute_batch(
+            [[RowRange(0, 10)], [RowRange(0, 10)]],
+            [{"a": (0, 9)}, {"a": (0, 9)}],
+        )
+        first, second = batched[0][1], batched[1][1]
+        assert first is not second
+        first.merge(second)
+        assert second.points_scanned == 10  # merging one must not mutate the other
+
+    def test_mixed_aggregates(self, table):
+        executor = ScanExecutor(table)
+        batched = executor.execute_batch(
+            [[RowRange(0, 10)], [RowRange(0, 10)]],
+            [{"a": (0, 4)}, {"a": (0, 4)}],
+            aggregates=["count", "sum"],
+            aggregate_columns=[None, "b"],
+        )
+        assert batched[0][0] == 5
+        assert batched[1][0] == 25  # b is 5 for the first five rows
+
+    def test_length_mismatch_rejected(self, table):
+        executor = ScanExecutor(table)
+        with pytest.raises(QueryError):
+            executor.execute_batch([[RowRange(0, 1)]], [])
+
+    def test_empty_batch(self, table):
+        assert ScanExecutor(table).execute_batch([], []) == []
