@@ -33,8 +33,12 @@ from repro.core import (
     WorkloadDriftDetector,
     OutlierBoundedMapping,
     CategoricalReordering,
+    DeltaBuffer,
     DeltaBufferedIndex,
     IncrementalReoptimizer,
+    LifecycleConfig,
+    LifecycleManager,
+    LifecycleReport,
 )
 from repro.baselines import (
     FullScanIndex,
@@ -74,8 +78,12 @@ __all__ = [
     "WorkloadDriftDetector",
     "OutlierBoundedMapping",
     "CategoricalReordering",
+    "DeltaBuffer",
     "DeltaBufferedIndex",
     "IncrementalReoptimizer",
+    "LifecycleConfig",
+    "LifecycleManager",
+    "LifecycleReport",
     "FullScanIndex",
     "SingleDimensionIndex",
     "ZOrderIndex",

@@ -52,6 +52,28 @@ class BuildReport:
         return self.sort_seconds + self.optimize_seconds
 
 
+def dedupe_queries(queries: Sequence[Query]) -> tuple[list[Query], list[int]]:
+    """Collapse repeated query templates ahead of batch execution.
+
+    Queries are hashable value objects, so skewed workloads that repeat a
+    small set of templates can be planned and scanned once per distinct
+    template.  Returns the distinct queries in first-seen order plus, for
+    every input query, its position in the distinct list (used to expand the
+    per-template results back to input order).
+    """
+    positions: dict[Query, int] = {}
+    distinct: list[Query] = []
+    order: list[int] = []
+    for query in queries:
+        position = positions.get(query)
+        if position is None:
+            position = len(distinct)
+            positions[query] = position
+            distinct.append(query)
+        order.append(position)
+    return distinct, order
+
+
 class ClusteredIndex(ABC):
     """Abstract base class for clustered multi-dimensional indexes."""
 
@@ -150,18 +172,7 @@ class ClusteredIndex(ABC):
         queries = list(queries)
         if not queries:
             return []
-        # Queries are hashable value objects: dedupe before planning so every
-        # repeated template pays for planning and scanning exactly once.
-        positions: dict[Query, int] = {}
-        distinct: list[Query] = []
-        order: list[int] = []
-        for query in queries:
-            position = positions.get(query)
-            if position is None:
-                position = len(distinct)
-                positions[query] = position
-                distinct.append(query)
-            order.append(position)
+        distinct, order = dedupe_queries(queries)
         ranges_per_query = self._ranges_for_queries(distinct)
         outcomes = self._executor.execute_batch(
             ranges_per_query,

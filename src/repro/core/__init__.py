@@ -20,6 +20,8 @@ The extensions the paper sketches in §8 live here as well:
 * :mod:`repro.core.categorical` — co-access ordering of categorical dimensions.
 * :mod:`repro.core.delta` — insert support via delta buffers.
 * :mod:`repro.core.incremental` — incremental per-region re-optimization.
+* :mod:`repro.core.lifecycle` — the serving loop tying inserts, drift
+  detection, and incremental re-optimization together.
 """
 
 from repro.core.skeleton import (
@@ -41,8 +43,14 @@ from repro.core.tsunami import TsunamiIndex, TsunamiConfig
 from repro.core.drift import WorkloadDriftDetector, DriftReport
 from repro.core.outliers import OutlierBoundedMapping
 from repro.core.categorical import CategoricalReordering, co_access_counts
-from repro.core.delta import DeltaBufferedIndex, MergeReport
+from repro.core.delta import BufferScan, DeltaBuffer, DeltaBufferedIndex, MergeReport
 from repro.core.incremental import IncrementalReoptimizer, IncrementalReport, RegionShift
+from repro.core.lifecycle import (
+    LifecycleConfig,
+    LifecycleEvent,
+    LifecycleManager,
+    LifecycleReport,
+)
 
 __all__ = [
     "IndependentCDFStrategy",
@@ -66,9 +74,15 @@ __all__ = [
     "OutlierBoundedMapping",
     "CategoricalReordering",
     "co_access_counts",
+    "DeltaBuffer",
+    "BufferScan",
     "DeltaBufferedIndex",
     "MergeReport",
     "IncrementalReoptimizer",
     "IncrementalReport",
     "RegionShift",
+    "LifecycleConfig",
+    "LifecycleEvent",
+    "LifecycleManager",
+    "LifecycleReport",
 ]

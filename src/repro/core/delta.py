@@ -6,18 +6,29 @@ acts as a delta index [39] in which updates are buffered and periodically
 merged into the main node."  :class:`DeltaBufferedIndex` implements that idea
 one level up, wrapping *any* clustered index in the repository:
 
-* Inserted rows are appended to an in-memory delta buffer kept in storage
-  units (the same 64-bit integer domain the main index uses).
-* Queries are answered by combining the main index's result with a scan of the
-  delta buffer, so reads always see every insert immediately.
-* Once the buffer exceeds ``merge_threshold`` rows (or on an explicit
+* Inserted rows land in a :class:`DeltaBuffer` — a columnar, amortized-growth
+  set of ``int64`` arrays in the same storage domain the main index uses.
+  :meth:`DeltaBufferedIndex.insert_many` converts whole columns at once, so
+  bulk ingestion is vectorized end to end.
+* Queries are answered by combining the main index's result with a single
+  columnar scan of the buffer, so reads always see every insert immediately.
+* Once the buffer reaches ``merge_threshold`` rows (or on an explicit
   :meth:`merge` call), the buffered rows are folded into the table and the
   wrapped index is rebuilt — the "periodic merge" of the differential-file
   technique the paper cites.
 
-The wrapper exposes the same ``execute`` / ``execute_workload`` /
-``index_size_bytes`` / ``describe`` surface as :class:`ClusteredIndex`, so the
-benchmark harness can measure it like any other index.
+The wrapper implements the full serving contract of
+:class:`~repro.baselines.base.ClusteredIndex` — ``is_built`` / ``table`` /
+``execute`` / ``execute_batch`` / ``execute_workload`` / ``explain`` /
+``index_size_bytes`` / ``describe`` — so it can sit behind
+:class:`~repro.query.engine.QueryEngine` and serve through the batched
+pipeline at the same speed as a read-only index: a batch is deduped into
+distinct templates, routed through the wrapped index's batched pipeline once,
+the buffer is scanned once per distinct template, and the per-template results
+are recombined per aggregate.  ``avg`` is recombined in a single pass: the
+main index executes the corresponding ``sum`` query, whose scan already
+counts the matching rows (``ScanStats.rows_matched``), so no second
+count-query execution is needed and the reported scan work is conserved.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.baselines.base import ClusteredIndex, QueryResult
+from repro.baselines.base import ClusteredIndex, QueryResult, dedupe_queries
 from repro.common.errors import IndexBuildError, QueryError, SchemaError
 from repro.query.query import Query
 from repro.query.workload import Workload
@@ -38,6 +49,9 @@ from repro.storage.table import Table
 
 IndexFactory = Callable[[], ClusteredIndex]
 
+#: Smallest per-column allocation of a :class:`DeltaBuffer`.
+MIN_BUFFER_CAPACITY = 64
+
 
 @dataclass
 class MergeReport:
@@ -46,6 +60,177 @@ class MergeReport:
     rows_merged: int
     rebuild_seconds: float
     total_rows: int
+
+
+@dataclass(frozen=True)
+class BufferScan:
+    """Everything one query needs from a single pass over the delta buffer.
+
+    All aggregate pieces are computed together so one scan per distinct
+    template serves any aggregate: ``total`` feeds ``sum``/``avg``,
+    ``matched`` feeds ``count``/``avg``, ``minimum``/``maximum`` (``NaN``
+    when no buffered row matches) feed ``min``/``max``.
+    """
+
+    total: float
+    minimum: float
+    maximum: float
+    matched: int
+    stats: ScanStats
+
+
+class DeltaBuffer:
+    """A columnar insert buffer with amortized-growth ``int64`` storage.
+
+    Values are appended into preallocated per-column arrays that double in
+    capacity when full, so appends are amortized O(1) and queries scan the
+    live prefix of each array directly — no per-query list→array conversion.
+    """
+
+    def __init__(self, column_names: Sequence[str], capacity: int = MIN_BUFFER_CAPACITY) -> None:
+        names = list(column_names)
+        if not names:
+            raise SchemaError("DeltaBuffer needs at least one column")
+        if len(set(names)) != len(names):
+            raise SchemaError(f"DeltaBuffer has duplicate column names: {names}")
+        self._names = names
+        self._capacity = max(int(capacity), MIN_BUFFER_CAPACITY)
+        self._size = 0
+        self._data = {name: np.empty(self._capacity, dtype=np.int64) for name in names}
+
+    # -- protocol ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaBuffer(columns={self._names}, rows={self._size}, "
+            f"capacity={self._capacity})"
+        )
+
+    @property
+    def column_names(self) -> list[str]:
+        """Buffered column names, in table order."""
+        return list(self._names)
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated rows per column (grows by doubling)."""
+        return self._capacity
+
+    def column(self, name: str) -> np.ndarray:
+        """The buffered values of ``name`` (a view of the live prefix)."""
+        try:
+            return self._data[name][: self._size]
+        except KeyError:
+            raise SchemaError(
+                f"delta buffer has no column {name!r}; available: {self._names}"
+            ) from None
+
+    # -- appends -----------------------------------------------------------------
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        for name, storage in self._data.items():
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = storage[: self._size]
+            self._data[name] = grown
+        self._capacity = capacity
+
+    def append(self, row: Mapping[str, int]) -> None:
+        """Append one already-converted row of storage-domain integers."""
+        self._ensure_capacity(1)
+        position = self._size
+        for name in self._names:
+            self._data[name][position] = row[name]
+        self._size += 1
+
+    def append_many(self, columns: Mapping[str, np.ndarray]) -> int:
+        """Append equal-length storage-domain arrays, one per column.
+
+        This is the vectorized bulk path: a single slice assignment per
+        column, with capacity grown at most once.  Returns the number of rows
+        appended.
+        """
+        missing = [name for name in self._names if name not in columns]
+        if missing:
+            raise SchemaError(f"append_many is missing values for columns {missing}")
+        arrays: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name in self._names:
+            array = np.asarray(columns[name], dtype=np.int64)
+            if array.ndim != 1:
+                raise SchemaError(
+                    f"append_many values for column {name!r} must be 1-dimensional"
+                )
+            if length is None:
+                length = int(array.shape[0])
+            elif int(array.shape[0]) != length:
+                raise SchemaError(
+                    f"append_many column lengths differ: {name!r} has "
+                    f"{array.shape[0]} values, expected {length}"
+                )
+            arrays[name] = array
+        if not length:
+            return 0
+        self._ensure_capacity(length)
+        start = self._size
+        for name in self._names:
+            self._data[name][start : start + length] = arrays[name]
+        self._size += length
+        return length
+
+    def clear(self) -> None:
+        """Drop every buffered row and shrink back to the minimum allocation."""
+        self._size = 0
+        if self._capacity > MIN_BUFFER_CAPACITY:
+            self._capacity = MIN_BUFFER_CAPACITY
+            self._data = {
+                name: np.empty(self._capacity, dtype=np.int64) for name in self._names
+            }
+
+    # -- scans --------------------------------------------------------------------
+
+    def mask_for_filters(self, filters: Mapping[str, tuple[int, int]]) -> np.ndarray:
+        """Boolean mask of buffered rows matching every ``{dim: (low, high)}``."""
+        mask = np.ones(self._size, dtype=bool)
+        for dim, (low, high) in filters.items():
+            if dim not in self._data:
+                raise QueryError(f"query filters unknown dimension {dim!r}")
+            values = self._data[dim][: self._size]
+            mask &= (values >= low) & (values <= high)
+        return mask
+
+    def scan(self, query: Query) -> BufferScan:
+        """Evaluate ``query`` over the buffer in one pass (see :class:`BufferScan`)."""
+        stats = ScanStats(dims_accessed=query.num_filtered_dimensions)
+        if self._size == 0:
+            return BufferScan(0.0, float("nan"), float("nan"), 0, stats)
+        stats.points_scanned = self._size
+        stats.cell_ranges = 1
+        mask = self.mask_for_filters(query.filters())
+        matched = int(mask.sum())
+        stats.rows_matched = matched
+        if matched == 0 or query.aggregate == "count":
+            return BufferScan(0.0, float("nan"), float("nan"), matched, stats)
+        target = self._data[query.aggregate_column][: self._size][mask]
+        return BufferScan(
+            total=float(target.sum()),
+            minimum=float(target.min()),
+            maximum=float(target.max()),
+            matched=matched,
+            stats=stats,
+        )
+
+    def size_bytes(self) -> int:
+        """Logical footprint of the buffered values (8 bytes per live value)."""
+        return 8 * self._size * len(self._names)
 
 
 class DeltaBufferedIndex:
@@ -58,9 +243,9 @@ class DeltaBufferedIndex:
         index; used for the initial build and for every merge-triggered
         rebuild.
     merge_threshold:
-        Number of buffered rows at which :meth:`insert` triggers an automatic
-        merge.  Set to ``0`` to merge after every insert, or a large value to
-        manage merges manually via :meth:`merge`.
+        Number of buffered rows at which inserts trigger an automatic merge.
+        ``0`` merges after every insert call; use a large value to manage
+        merges manually via :meth:`merge`.
     """
 
     name = "delta-buffered"
@@ -72,7 +257,7 @@ class DeltaBufferedIndex:
         self.merge_threshold = merge_threshold
         self._index: ClusteredIndex | None = None
         self._workload: Workload | None = None
-        self._buffer: dict[str, list[int]] = {}
+        self._buffer: DeltaBuffer | None = None
         self._merges: list[MergeReport] = []
 
     # -- build ----------------------------------------------------------------------
@@ -82,13 +267,23 @@ class DeltaBufferedIndex:
         self._index = self._index_factory()
         self._index.build(table, workload)
         self._workload = workload
-        self._buffer = {name: [] for name in table.column_names}
+        self._buffer = DeltaBuffer(table.column_names)
         return self
 
     def _require_built(self) -> ClusteredIndex:
         if self._index is None or not self._index.is_built:
             raise IndexBuildError("DeltaBufferedIndex has not been built yet")
         return self._index
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed (serving-contract parity)."""
+        return self._index is not None and self._index.is_built
+
+    @property
+    def table(self) -> Table:
+        """The main index's clustered table (pending inserts live in the buffer)."""
+        return self._require_built().table
 
     # -- inserts ----------------------------------------------------------------------
 
@@ -98,16 +293,61 @@ class DeltaBufferedIndex:
         return self._require_built()
 
     @property
+    def buffer(self) -> DeltaBuffer:
+        """The columnar insert buffer (reset on every merge)."""
+        self._require_built()
+        assert self._buffer is not None
+        return self._buffer
+
+    @property
+    def workload(self) -> Workload | None:
+        """The workload merges rebuild the main index for."""
+        return self._workload
+
+    @workload.setter
+    def workload(self, workload: Workload | None) -> None:
+        """Advance the rebuild workload (e.g. after drift-triggered re-optimization)."""
+        self._workload = workload
+
+    @property
     def num_pending(self) -> int:
         """Number of inserted rows not yet merged into the main index."""
-        if not self._buffer:
-            return 0
-        return len(next(iter(self._buffer.values())))
+        return len(self._buffer) if self._buffer is not None else 0
 
     @property
     def num_rows(self) -> int:
         """Total rows visible to queries (main table plus pending inserts)."""
         return self._require_built().table.num_rows + self.num_pending
+
+    def _convert_value(self, column: Column, value: object) -> int:
+        try:
+            return int(column.to_storage(value))
+        except (KeyError, ValueError, TypeError, SchemaError) as exc:
+            raise SchemaError(
+                f"value {value!r} cannot be stored in column {column.name!r}: {exc}"
+            ) from exc
+
+    def _convert_column(self, column: Column, values: list) -> np.ndarray:
+        """Vectorized user-value → storage-domain conversion for one column."""
+        if column.dictionary is not None:
+            try:
+                return column.dictionary.encode([str(value) for value in values])
+            except SchemaError as exc:
+                raise SchemaError(
+                    f"values cannot be stored in column {column.name!r}: {exc}"
+                ) from exc
+        try:
+            if column.scaler is not None:
+                return column.scaler.transform(np.asarray(values, dtype=np.float64))
+            return np.asarray(values, dtype=np.int64)
+        except (ValueError, TypeError) as exc:
+            raise SchemaError(
+                f"values cannot be stored in column {column.name!r}: {exc}"
+            ) from exc
+
+    def _maybe_merge(self) -> None:
+        if self.num_pending and self.num_pending >= self.merge_threshold:
+            self.merge()
 
     def insert(self, row: Mapping[str, object]) -> None:
         """Insert one row given as ``{column: user-facing value}``.
@@ -122,24 +362,52 @@ class DeltaBufferedIndex:
         missing = [name for name in table.column_names if name not in row]
         if missing:
             raise SchemaError(f"insert is missing values for columns {missing}")
-        converted = {}
-        for name in table.column_names:
-            column = table.column(name)
-            try:
-                converted[name] = int(column.to_storage(row[name]))
-            except (KeyError, ValueError, TypeError) as exc:
-                raise SchemaError(
-                    f"value {row[name]!r} cannot be stored in column {name!r}: {exc}"
-                ) from exc
-        for name, value in converted.items():
-            self._buffer[name].append(value)
-        if self.merge_threshold and self.num_pending >= self.merge_threshold:
-            self.merge()
+        converted = {
+            name: self._convert_value(table.column(name), row[name])
+            for name in table.column_names
+        }
+        assert self._buffer is not None
+        self._buffer.append(converted)
+        self._maybe_merge()
 
     def insert_many(self, rows: Sequence[Mapping[str, object]]) -> None:
-        """Insert several rows (see :meth:`insert`)."""
-        for row in rows:
-            self.insert(row)
+        """Insert several rows at once via the vectorized columnar path.
+
+        All rows are schema-checked and converted column-by-column (one numpy
+        conversion per column) before anything is buffered, then appended in
+        merge-threshold-sized chunks so the automatic merge cadence matches a
+        per-row insert loop.
+        """
+        rows = list(rows)
+        if not rows:
+            return
+        index = self._require_built()
+        table = index.table
+        column_names = table.column_names
+        columns: dict[str, np.ndarray] = {}
+        for name in column_names:
+            try:
+                values = [row[name] for row in rows]
+            except KeyError:
+                position = next(i for i, row in enumerate(rows) if name not in row)
+                missing = [c for c in column_names if c not in rows[position]]
+                raise SchemaError(
+                    f"insert is missing values for columns {missing}"
+                ) from None
+            columns[name] = self._convert_column(table.column(name), values)
+        assert self._buffer is not None
+        total = len(rows)
+        offset = 0
+        while offset < total:
+            chunk = total - offset
+            if self.merge_threshold > 0:
+                room = self.merge_threshold - self.num_pending
+                chunk = min(chunk, max(room, 1))
+            self._buffer.append_many(
+                {name: array[offset : offset + chunk] for name, array in columns.items()}
+            )
+            offset += chunk
+            self._maybe_merge()
 
     # -- merging ----------------------------------------------------------------------
 
@@ -149,6 +417,7 @@ class DeltaBufferedIndex:
         Returns the merge report, or ``None`` if the buffer was empty.
         """
         index = self._require_built()
+        assert self._buffer is not None
         pending = self.num_pending
         if pending == 0:
             return None
@@ -157,9 +426,7 @@ class DeltaBufferedIndex:
         columns = []
         for name in old_table.column_names:
             source = old_table.column(name)
-            merged_values = np.concatenate(
-                [source.values, np.asarray(self._buffer[name], dtype=np.int64)]
-            )
+            merged_values = np.concatenate([source.values, self._buffer.column(name)])
             columns.append(
                 Column(
                     name,
@@ -171,7 +438,7 @@ class DeltaBufferedIndex:
         merged_table = Table(old_table.name, columns)
         self._index = self._index_factory()
         self._index.build(merged_table, self._workload)
-        self._buffer = {name: [] for name in merged_table.column_names}
+        self._buffer = DeltaBuffer(merged_table.column_names)
         report = MergeReport(
             rows_merged=pending,
             rebuild_seconds=time.perf_counter() - start,
@@ -187,77 +454,88 @@ class DeltaBufferedIndex:
 
     # -- queries ----------------------------------------------------------------------
 
-    def _scan_buffer(self, query: Query) -> tuple[float, float, int, ScanStats]:
-        """Evaluate ``query`` over the delta buffer.
+    @staticmethod
+    def _main_query(query: Query) -> Query:
+        """The query the main index executes in place of ``query``.
 
-        Returns ``(sum, min_or_max_or_nan, matched_count, stats)`` with the
-        pieces the aggregate combination in :meth:`execute` needs.
+        ``avg`` cannot be combined from two averages, so the main index runs
+        the corresponding ``sum`` query instead; its scan counts the matching
+        rows as a side effect (``ScanStats.rows_matched``), which is exactly
+        the count the recombination needs — one main-index pass, not two.
         """
-        pending = self.num_pending
-        stats = ScanStats(dims_accessed=query.num_filtered_dimensions)
-        if pending == 0:
-            return 0.0, float("nan"), 0, stats
-        stats.points_scanned = pending
-        stats.cell_ranges = 1
-        mask = np.ones(pending, dtype=bool)
-        for dim, (low, high) in query.filters().items():
-            if dim not in self._buffer:
-                raise QueryError(f"query filters unknown dimension {dim!r}")
-            values = np.asarray(self._buffer[dim], dtype=np.int64)
-            mask &= (values >= low) & (values <= high)
-        matched = int(mask.sum())
-        stats.rows_matched = matched
-        if matched == 0 or query.aggregate == "count":
-            return 0.0, float("nan"), matched, stats
-        target = np.asarray(self._buffer[query.aggregate_column], dtype=np.int64)[mask]
-        if query.aggregate in {"sum", "avg"}:
-            return float(target.sum()), float("nan"), matched, stats
-        if query.aggregate == "min":
-            return 0.0, float(target.min()), matched, stats
-        return 0.0, float(target.max()), matched, stats
+        if query.aggregate != "avg":
+            return query
+        return Query(
+            predicates=query.predicates,
+            aggregate="sum",
+            aggregate_column=query.aggregate_column,
+            query_type=query.query_type,
+        )
 
-    def execute(self, query: Query) -> QueryResult:
-        """Answer ``query`` over the main index plus the delta buffer."""
-        index = self._require_built()
-        buffer_sum, buffer_extreme, buffer_matched, buffer_stats = self._scan_buffer(query)
-
+    def _combine(self, query: Query, main: QueryResult, scan: BufferScan) -> QueryResult:
+        """Recombine the main index's result with the buffer scan, per aggregate."""
+        stats = ScanStats()
+        stats.merge(main.stats)
+        stats.merge(scan.stats)
+        if query.aggregate == "count":
+            return QueryResult(value=main.value + scan.matched, stats=stats)
+        if query.aggregate == "sum":
+            return QueryResult(value=main.value + scan.total, stats=stats)
         if query.aggregate == "avg":
-            # Averages cannot be combined from two averages; ask the main
-            # index for its sum and count separately and recombine.
-            sum_query = Query(
-                predicates=query.predicates,
-                aggregate="sum",
-                aggregate_column=query.aggregate_column,
-                query_type=query.query_type,
-            )
-            count_query = Query(predicates=query.predicates, query_type=query.query_type)
-            sum_result = index.execute(sum_query)
-            count_result = index.execute(count_query)
-            stats = ScanStats()
-            stats.merge(sum_result.stats)
-            stats.merge(buffer_stats)
-            total_sum = sum_result.value + buffer_sum
-            total_count = count_result.value + buffer_matched
+            # ``main`` executed the rewritten sum query (see _main_query), so
+            # its value is the main-side sum and its rows_matched the count.
+            total_sum = main.value + scan.total
+            total_count = main.stats.rows_matched + scan.matched
             value = total_sum / total_count if total_count else float("nan")
             return QueryResult(value=value, stats=stats)
-
-        main_result = index.execute(query)
-        stats = ScanStats()
-        stats.merge(main_result.stats)
-        stats.merge(buffer_stats)
-        if query.aggregate in {"count", "sum"}:
-            extra = buffer_matched if query.aggregate == "count" else buffer_sum
-            return QueryResult(value=main_result.value + extra, stats=stats)
         # min / max: combine, treating NaN as "no rows on that side".
+        buffer_extreme = scan.minimum if query.aggregate == "min" else scan.maximum
         candidates = [
             candidate
-            for candidate in (main_result.value, buffer_extreme)
+            for candidate in (main.value, buffer_extreme)
             if not np.isnan(candidate)
         ]
         if not candidates:
             return QueryResult(value=float("nan"), stats=stats)
         combined = min(candidates) if query.aggregate == "min" else max(candidates)
         return QueryResult(value=combined, stats=stats)
+
+    def execute(self, query: Query) -> QueryResult:
+        """Answer ``query`` over the main index plus the delta buffer."""
+        index = self._require_built()
+        assert self._buffer is not None
+        scan = self._buffer.scan(query)
+        main = index.execute(self._main_query(query))
+        return self._combine(query, main, scan)
+
+    def execute_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of queries through the wrapped index's batched pipeline.
+
+        The batch is deduped into distinct templates; the main index plans and
+        scans the whole batch once (sharing grid-tree routing, plan-cache
+        lookups, column slices, and filter masks), the buffer is scanned once
+        per distinct template, and the results are recombined per aggregate.
+        Results are in input order and identical to per-query :meth:`execute`.
+        """
+        self._require_built()
+        assert self._buffer is not None
+        queries = list(queries)
+        if not queries:
+            return []
+        distinct, order = dedupe_queries(queries)
+        main_results = self._require_built().execute_batch(
+            [self._main_query(query) for query in distinct]
+        )
+        combined = [
+            self._combine(query, main, self._buffer.scan(query))
+            for query, main in zip(distinct, main_results)
+        ]
+        return [
+            QueryResult(
+                value=combined[position].value, stats=combined[position].stats.copy()
+            )
+            for position in order
+        ]
 
     def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
         """Execute every query in ``workload`` and return results plus total work."""
@@ -271,10 +549,27 @@ class DeltaBufferedIndex:
 
     # -- reporting --------------------------------------------------------------------
 
+    def explain(self, query: Query) -> dict:
+        """The wrapped index's plan for ``query``, extended with the buffer scan.
+
+        Every pending insert is scanned (one extra contiguous "range"), so the
+        row counts and scanned fraction include the buffer.
+        """
+        index = self._require_built()
+        plan = dict(index.explain(query))
+        pending = self.num_pending
+        plan["index"] = f"{self.name}({plan['index']})"
+        plan["pending_inserts"] = pending
+        if pending:
+            plan["cell_ranges"] += 1
+            plan["rows_to_scan"] += pending
+        plan["table_fraction_scanned"] = plan["rows_to_scan"] / max(self.num_rows, 1)
+        return plan
+
     def index_size_bytes(self) -> int:
         """Main index size plus the delta buffer (8 bytes per buffered value)."""
-        buffered_values = self.num_pending * len(self._buffer)
-        return self._require_built().index_size_bytes() + 8 * buffered_values
+        buffered = self._buffer.size_bytes() if self._buffer is not None else 0
+        return self._require_built().index_size_bytes() + buffered
 
     def describe(self) -> dict:
         """Structural statistics of the wrapper and the current main index."""

@@ -44,6 +44,16 @@ class DriftReport:
             return "no significant workload drift detected"
         return "workload drift detected: " + "; ".join(self.reasons)
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form (used by the lifecycle benchmark reports)."""
+        return {
+            "drifted": self.drifted,
+            "new_type_fraction": self.new_type_fraction,
+            "disappeared_types": list(self.disappeared_types),
+            "frequency_shift": self.frequency_shift,
+            "reasons": list(self.reasons),
+        }
+
 
 @dataclass
 class WorkloadDriftDetector:
@@ -98,6 +108,20 @@ class WorkloadDriftDetector:
             self._type_centroids[type_id] = (dims, centroid)
             self._type_frequencies[type_id] = len(queries) / total
         return self
+
+    def refit(self, workload: Workload, table: Table | None = None) -> "WorkloadDriftDetector":
+        """Re-learn the baseline after the index was re-optimized for ``workload``.
+
+        Uses the previously fitted table unless a new one is given (e.g. after
+        a delta-buffer merge changed the data).  The lifecycle loop calls this
+        so that repeated observations compare against the workload the index
+        is *now* optimized for rather than the original one.
+        """
+        if table is None:
+            if self._table is None:
+                raise ValueError("detector has not been fitted")
+            table = self._table
+        return self.fit(table, workload)
 
     def _centroid(self, queries: list[Query]) -> tuple[tuple[str, ...], np.ndarray]:
         """Mean selectivity embedding of a query type (over its filtered dims)."""

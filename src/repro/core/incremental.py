@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.common.errors import IndexBuildError, OptimizationError
 from repro.core.augmented_grid import AugmentedGrid
-from repro.core.query_types import cluster_query_types
+from repro.core.query_types import PlanCache, cluster_query_types
 from repro.core.tsunami import TsunamiIndex
 from repro.query.workload import Workload
 
@@ -187,7 +187,20 @@ class IncrementalReoptimizer:
                 )
             except OptimizationError:
                 continue
-            grid = AugmentedGrid(result.config)
+            # Rebuild the grid with the index's serving configuration so a
+            # re-optimized region keeps the vectorized planner and its plan
+            # cache (a fresh, empty cache: the old spans address rows that
+            # this pass is about to move).
+            plan_cache = (
+                PlanCache(self.index.config.plan_cache_entries)
+                if self.index.config.plan_cache_entries > 0
+                else None
+            )
+            grid = AugmentedGrid(
+                result.config,
+                planner=self.index.config.planner,
+                plan_cache=plan_cache,
+            )
             relative_permutation = grid.fit(region_table)
             permutation[row_ids] = row_ids[relative_permutation]
             region.grid = grid
@@ -198,7 +211,11 @@ class IncrementalReoptimizer:
 
         if reoptimized:
             table.reorder(permutation)
-        self.index.typed_workload = typed
+            # Advance the comparison baseline only when re-optimization work
+            # was actually performed.  Advancing it on a no-op pass would let
+            # repeated sub-threshold shifts each reset the baseline and never
+            # accumulate into a trigger.
+            self.index.typed_workload = typed
         return IncrementalReport(
             seconds=time.perf_counter() - start,
             regions_considered=len(shifts),

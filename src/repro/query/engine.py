@@ -8,6 +8,13 @@ every index's answer to every query must equal the full-scan answer.
 (or falls back to full scans) and exposes both single-query execution and the
 batched pipeline, which shares grid-tree routing, plan-cache lookups, column
 gathers, and filter masks across the queries of one batch.
+
+The engine accepts anything implementing the serving contract — ``is_built``,
+``table``, ``execute``, ``execute_batch``, and ``explain`` — which every
+:class:`~repro.baselines.base.ClusteredIndex` provides and which
+:class:`~repro.core.delta.DeltaBufferedIndex` implements as a wrapper, so an
+updatable index with pending inserts serves through the same batched fast
+path as a read-only one.
 """
 
 from __future__ import annotations
@@ -42,7 +49,9 @@ class QueryEngine:
     Parameters
     ----------
     index:
-        A built :class:`~repro.baselines.base.ClusteredIndex`.  ``None``
+        A built index implementing the serving contract (any
+        :class:`~repro.baselines.base.ClusteredIndex`, or the updatable
+        :class:`~repro.core.delta.DeltaBufferedIndex` wrapper).  ``None``
         answers every query by full scan over ``table`` instead.
     table:
         Required when ``index`` is ``None``; ignored otherwise.
@@ -54,12 +63,17 @@ class QueryEngine:
         if index is not None and not index.is_built:
             raise QueryError(f"index {index.name!r} has not been built yet")
         self._index = index
-        self._table = table if index is None else index.table
+        self._table = table
 
     @property
     def table(self) -> Table:
-        """The table queries run against."""
-        return self._table
+        """The table queries run against.
+
+        Delegates to the index when one is present: an updatable index
+        replaces its table object on merge, so caching it here would go
+        stale after the first auto-merge.
+        """
+        return self._table if self._index is None else self._index.table
 
     def run(self, query: Query):
         """Answer one query; returns a ``QueryResult``."""
@@ -88,3 +102,17 @@ class QueryEngine:
         for start in range(0, len(queries), step):
             results.extend(self._index.execute_batch(queries[start : start + step]))
         return results
+
+    def explain(self, query: Query) -> dict:
+        """Describe how ``query`` would be answered without executing it."""
+        if self._index is not None:
+            return self._index.explain(query)
+        return {
+            "index": "full-scan",
+            "filtered_dimensions": list(query.filtered_dimensions),
+            "aggregate": query.aggregate,
+            "cell_ranges": 1,
+            "rows_to_scan": self._table.num_rows,
+            "exact_rows": 0,
+            "table_fraction_scanned": 1.0,
+        }

@@ -7,18 +7,30 @@ from repro.core.cost_model import CostModel, QueryPlanFeatures
 
 class TestQueryPlanFeatures:
     def test_scan_work(self):
-        features = QueryPlanFeatures(num_cell_ranges=2, scanned_points=100, num_filtered_dimensions=3)
+        features = QueryPlanFeatures(num_cell_ranges=2, points_scanned=100, num_filtered_dimensions=3)
         assert features.scan_work == 300
 
     def test_scan_work_with_no_filters(self):
         features = QueryPlanFeatures(1, 50, 0)
         assert features.scan_work == 50
 
+    def test_deprecated_scanned_points_keyword_warns(self):
+        with pytest.warns(DeprecationWarning):
+            features = QueryPlanFeatures(
+                num_cell_ranges=1, scanned_points=25, num_filtered_dimensions=2
+            )
+        assert features.points_scanned == 25
+        assert features.scanned_points == 25  # the read-only alias stays quiet
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError):
+            QueryPlanFeatures(1, points_scanned=10, scanned_points=10)
+
 
 class TestCostModelPredict:
     def test_linear_form(self):
         model = CostModel(w0=10.0, w1=2.0)
-        features = QueryPlanFeatures(num_cell_ranges=3, scanned_points=100, num_filtered_dimensions=2)
+        features = QueryPlanFeatures(num_cell_ranges=3, points_scanned=100, num_filtered_dimensions=2)
         assert model.predict(features) == 10 * 3 + 2 * 200
 
     def test_average(self):

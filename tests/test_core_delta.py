@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.baselines import FloodIndex, KdTreeIndex
-from repro.common.errors import IndexBuildError, SchemaError
-from repro.core.delta import DeltaBufferedIndex
+from repro.common.errors import IndexBuildError, QueryError, SchemaError
+from repro.core.delta import MIN_BUFFER_CAPACITY, DeltaBuffer, DeltaBufferedIndex
 from repro.core.tsunami import TsunamiConfig, TsunamiIndex
-from repro.query.engine import execute_full_scan
+from repro.query.engine import QueryEngine, execute_full_scan
 from repro.query.query import Query
 from repro.storage.table import Table
 
@@ -134,6 +134,292 @@ class TestMerging:
         query = Query.from_ranges({"x": (0, 10_000)})
         expected, _ = execute_full_scan(reference, query)
         assert index.execute(query).value == expected
+
+
+class TestDeltaBuffer:
+    def test_append_and_views(self):
+        buffer = DeltaBuffer(["a", "b"])
+        buffer.append({"a": 1, "b": 10})
+        buffer.append({"a": 2, "b": 20})
+        assert len(buffer) == 2
+        assert buffer.column("a").tolist() == [1, 2]
+        assert buffer.column("b").tolist() == [10, 20]
+
+    def test_append_many_is_columnar(self):
+        buffer = DeltaBuffer(["a", "b"])
+        appended = buffer.append_many({"a": np.arange(5), "b": np.arange(5) * 2})
+        assert appended == 5
+        assert buffer.column("b").tolist() == [0, 2, 4, 6, 8]
+
+    def test_capacity_grows_by_doubling(self):
+        buffer = DeltaBuffer(["a"])
+        start = buffer.capacity
+        buffer.append_many({"a": np.arange(start + 1)})
+        assert buffer.capacity == 2 * start
+        assert len(buffer) == start + 1
+        assert buffer.column("a").tolist() == list(range(start + 1))
+
+    def test_clear_resets_size_and_allocation(self):
+        buffer = DeltaBuffer(["a"])
+        buffer.append_many({"a": np.arange(10 * MIN_BUFFER_CAPACITY)})
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.capacity == MIN_BUFFER_CAPACITY
+
+    def test_append_many_validates_lengths_and_columns(self):
+        buffer = DeltaBuffer(["a", "b"])
+        with pytest.raises(SchemaError):
+            buffer.append_many({"a": np.arange(3)})
+        with pytest.raises(SchemaError):
+            buffer.append_many({"a": np.arange(3), "b": np.arange(4)})
+        with pytest.raises(SchemaError):
+            buffer.append_many({"a": np.arange(4).reshape(2, 2), "b": np.arange(4).reshape(2, 2)})
+        assert len(buffer) == 0
+
+    def test_unknown_column_rejected(self):
+        buffer = DeltaBuffer(["a"])
+        with pytest.raises(SchemaError):
+            buffer.column("missing")
+        with pytest.raises(QueryError):
+            buffer.mask_for_filters({"missing": (0, 1)})
+
+    def test_scan_computes_every_aggregate_piece_in_one_pass(self):
+        buffer = DeltaBuffer(["x", "v"])
+        buffer.append_many({"x": [1, 5, 9], "v": [30, 10, 20]})
+        scan = buffer.scan(
+            Query.from_ranges({"x": (0, 6)}, aggregate="sum", aggregate_column="v")
+        )
+        assert scan.matched == 2
+        assert scan.total == 40.0
+        assert scan.minimum == 10.0
+        assert scan.maximum == 30.0
+        assert scan.stats.points_scanned == 3
+        assert scan.stats.rows_matched == 2
+        assert scan.stats.cell_ranges == 1
+
+    def test_scan_of_empty_buffer_is_free(self):
+        buffer = DeltaBuffer(["x"])
+        scan = buffer.scan(Query.from_ranges({"x": (0, 10)}))
+        assert scan.matched == 0
+        assert np.isnan(scan.minimum) and np.isnan(scan.maximum)
+        assert scan.stats.points_scanned == 0
+
+
+class TestVectorizedInsertMany:
+    def test_insert_many_matches_per_row_loop(self, fresh_table, fresh_workload):
+        rows = new_rows(60, seed=13)
+        bulk = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=25)
+        bulk.build(fresh_table, fresh_workload)
+        loop = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=25)
+        loop.build(_make_fresh_copy(fresh_table), fresh_workload)
+
+        bulk.insert_many(rows)
+        for row in rows:
+            loop.insert(row)
+
+        # Identical merge cadence and identical pending tail.
+        assert bulk.num_pending == loop.num_pending
+        assert len(bulk.merge_history) == len(loop.merge_history)
+        for name in fresh_table.column_names:
+            assert np.array_equal(bulk.buffer.column(name), loop.buffer.column(name))
+        query = Query.from_ranges({"x": (0, 10_000)})
+        assert bulk.execute(query).value == loop.execute(query).value
+
+    def test_insert_many_missing_column_rejected_atomically(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(3)
+        del rows[1]["z"]
+        with pytest.raises(SchemaError):
+            index.insert_many(rows)
+        assert index.num_pending == 0  # nothing buffered before the failure
+
+    def test_insert_many_bad_value_rejected_atomically(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(3)
+        rows[2]["y"] = "not-a-number"
+        with pytest.raises(SchemaError):
+            index.insert_many(rows)
+        assert index.num_pending == 0
+
+    def test_empty_insert_many_is_noop(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        index.insert_many([])
+        assert index.num_pending == 0
+
+    def test_zero_threshold_merges_every_insert(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=0)
+        index.build(fresh_table, fresh_workload)
+        for row in new_rows(3, seed=8):
+            index.insert(row)
+        assert index.num_pending == 0
+        assert len(index.merge_history) == 3
+        index.insert_many(new_rows(5, seed=9))
+        assert index.num_pending == 0
+        assert index.base_index.table.num_rows == 5_000 + 8
+
+
+def _make_fresh_copy(table: Table) -> Table:
+    return Table.from_arrays(
+        table.name, {name: np.array(table.values(name)) for name in table.column_names}
+    )
+
+
+class TestServingContract:
+    def test_is_built_and_table(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512))
+        assert not index.is_built
+        with pytest.raises(IndexBuildError):
+            index.table
+        index.build(fresh_table, fresh_workload)
+        assert index.is_built
+        assert index.table is index.base_index.table
+
+    def test_query_engine_accepts_delta_index(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(40, seed=3)
+        index.insert_many(rows)
+        engine = QueryEngine(index=index)  # used to raise AttributeError
+        reference = reference_table(index, rows)
+        query = fresh_workload[0]
+        expected, _ = execute_full_scan(reference, query)
+        assert engine.run(query).value == expected
+        assert [r.value for r in engine.run_batch([query, query])] == [expected] * 2
+
+    def test_run_batch_differential(self, fresh_table, fresh_workload):
+        """Batched == per-query == full scan over table+buffer, bit for bit."""
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(35, seed=17)
+        index.insert_many(rows)
+        reference = reference_table(index, rows)
+        queries = []
+        for aggregate in ("count", "sum", "avg", "min", "max"):
+            column = None if aggregate == "count" else "z"
+            queries.append(
+                Query.from_ranges(
+                    {"x": (1_000, 8_000)}, aggregate=aggregate, aggregate_column=column
+                )
+            )
+        queries = queries + list(fresh_workload)[:10] + queries  # duplicates too
+        engine = QueryEngine(index=index)
+        batched = engine.run_batch(queries)
+        for query, result in zip(queries, batched):
+            single = index.execute(query)
+            assert _same_value(result.value, single.value)
+            assert result.stats.points_scanned == single.stats.points_scanned
+            assert result.stats.cell_ranges == single.stats.cell_ranges
+            assert result.stats.rows_matched == single.stats.rows_matched
+            assert result.stats.dims_accessed == single.stats.dims_accessed
+            expected, _ = execute_full_scan(reference, query)
+            assert _same_value(result.value, expected)
+
+    def test_engine_table_tracks_merge(self, fresh_table, fresh_workload):
+        """A merge replaces the index's table; the engine must not cache the old one."""
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        engine = QueryEngine(index=index)
+        before = engine.table
+        index.insert_many(new_rows(25, seed=9))
+        index.merge()
+        assert engine.table is index.table
+        assert engine.table is not before
+        assert engine.table.num_rows == before.num_rows + 25
+
+    def test_inserts_visible_between_batches(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        engine = QueryEngine(index=index)
+        query = Query.from_ranges({"x": (0, 10_000)})
+        before = engine.run_batch([query])[0].value
+        index.insert_many(new_rows(12, seed=5))
+        after = engine.run_batch([query])[0].value
+        assert after == before + 12
+
+    def test_explain_includes_buffer(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        query = Query.from_ranges({"x": (1_000, 2_000)})
+        empty_plan = index.explain(query)
+        assert empty_plan["pending_inserts"] == 0
+        index.insert_many(new_rows(20, seed=2))
+        plan = index.explain(query)
+        assert plan["pending_inserts"] == 20
+        assert plan["rows_to_scan"] == empty_plan["rows_to_scan"] + 20
+        assert plan["cell_ranges"] == empty_plan["cell_ranges"] + 1
+        assert plan["index"].startswith("delta-buffered(")
+
+    def test_min_max_nan_edges(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        # Outside the data domain: empty buffer AND empty main-side result.
+        nothing = Query.from_ranges({"x": (50_000, 60_000)}, aggregate="min", aggregate_column="z")
+        assert np.isnan(index.execute(nothing).value)
+        assert np.isnan(index.execute_batch([nothing])[0].value)
+        # Buffer-only matches: the main side stays empty, the buffer answers.
+        index.insert({"x": 55_000, "y": 1, "z": 777, "c": 0})
+        assert index.execute(nothing).value == 777.0
+        maximum = Query.from_ranges({"x": (50_000, 60_000)}, aggregate="max", aggregate_column="z")
+        assert index.execute_batch([maximum])[0].value == 777.0
+        # Main-only matches with a pending (non-matching) insert still combine.
+        main_only = Query.from_ranges({"x": (0, 10_000)}, aggregate="min", aggregate_column="z")
+        expected, _ = execute_full_scan(index.table, main_only)
+        assert index.execute(main_only).value == expected
+
+    def test_avg_with_empty_sides(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        nothing = Query.from_ranges({"x": (50_000, 60_000)}, aggregate="avg", aggregate_column="z")
+        assert np.isnan(index.execute(nothing).value)
+        index.insert({"x": 55_000, "y": 1, "z": 40, "c": 0})
+        index.insert({"x": 56_000, "y": 1, "z": 60, "c": 0})
+        assert index.execute(nothing).value == pytest.approx(50.0)
+        assert index.execute_batch([nothing])[0].value == pytest.approx(50.0)
+
+
+class TestAvgStatsConservation:
+    def test_avg_reports_exactly_the_sum_pass_plus_buffer(self, fresh_table, fresh_workload):
+        """The old second count pass is gone and no scan work is dropped.
+
+        ``avg`` now executes a single main-index ``sum`` pass whose
+        ``rows_matched`` doubles as the count, so its reported stats must be
+        exactly (sum-query stats) + (one buffer scan) — conservation, where
+        previously the count pass ran *and* its counters were dropped.
+        """
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        index.insert_many(new_rows(25, seed=11))
+        pending = index.num_pending
+        avg_query = Query.from_ranges({"x": (1_000, 8_000)}, aggregate="avg", aggregate_column="z")
+        sum_query = Query.from_ranges({"x": (1_000, 8_000)}, aggregate="sum", aggregate_column="z")
+
+        avg_stats = index.execute(avg_query).stats
+        main_sum_stats = index.base_index.execute(sum_query).stats
+        buffer_scan = index.buffer.scan(avg_query)
+
+        assert avg_stats.points_scanned == main_sum_stats.points_scanned + pending
+        assert avg_stats.cell_ranges == main_sum_stats.cell_ranges + buffer_scan.stats.cell_ranges
+        assert avg_stats.rows_matched == main_sum_stats.rows_matched + buffer_scan.matched
+        assert avg_stats.dims_accessed == main_sum_stats.dims_accessed + buffer_scan.stats.dims_accessed
+
+    def test_avg_value_still_exact(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(lambda: KdTreeIndex(page_size=512), merge_threshold=10_000)
+        index.build(fresh_table, fresh_workload)
+        rows = new_rows(30, seed=14)
+        index.insert_many(rows)
+        reference = reference_table(index, rows)
+        query = Query.from_ranges({"x": (500, 9_500)}, aggregate="avg", aggregate_column="y")
+        expected, _ = execute_full_scan(reference, query)
+        assert index.execute(query).value == pytest.approx(expected)
+
+
+def _same_value(left: float, right: float) -> bool:
+    if np.isnan(left) or np.isnan(right):
+        return np.isnan(left) and np.isnan(right)
+    return left == right
 
 
 class TestReporting:

@@ -108,6 +108,36 @@ class TestReoptimization:
         assert "regions" in text
         assert report.seconds >= 0
 
+    def test_workless_pass_does_not_advance_baseline(self, fresh_table, fresh_workload):
+        """Selected-but-skipped passes must not reset the comparison baseline.
+
+        An empty observed workload makes every previously-hit region's share
+        drop (so regions are selected), but no region has queries to optimize
+        for, so zero regions are re-optimized — the recorded workload must
+        stay put or repeated sub-threshold shifts would never accumulate.
+        """
+        index = build_index(fresh_table, fresh_workload)
+        baseline = index.typed_workload
+        reoptimizer = IncrementalReoptimizer(index, shift_threshold=0.05)
+        report = reoptimizer.reoptimize(Workload([], name="empty"))
+        assert report.regions_reoptimized == ()
+        # The pass really did select regions (the bug path, not the early return).
+        assert any(shift.shift >= 0.05 for shift in report.shifts)
+        assert index.typed_workload is baseline
+
+    def test_reoptimized_regions_keep_planner_and_plan_cache(self, fresh_table, fresh_workload):
+        """A repaired region must not silently lose the serving fast path."""
+        index = build_index(fresh_table, fresh_workload)
+        reoptimizer = IncrementalReoptimizer(index, shift_threshold=0.01, max_regions=4)
+        report = reoptimizer.reoptimize(shifted_workload())
+        assert report.regions_reoptimized  # sanity: the pass did work
+        for region in index._regions:
+            if region.node.region_id in report.regions_reoptimized:
+                assert region.grid.planner == index.config.planner
+                assert (region.grid.plan_cache is not None) == (
+                    index.config.plan_cache_entries > 0
+                )
+
     def test_incremental_touches_fewer_rows_than_full_rebuild(self, fresh_table, fresh_workload):
         index = build_index(fresh_table, fresh_workload)
         rows_before = {
