@@ -39,6 +39,7 @@ from repro.core import (
     LifecycleConfig,
     LifecycleManager,
     LifecycleReport,
+    ShardedIndex,
 )
 from repro.baselines import (
     FullScanIndex,
@@ -51,7 +52,7 @@ from repro.baselines import (
     FloodIndex,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Table",
@@ -84,6 +85,7 @@ __all__ = [
     "LifecycleConfig",
     "LifecycleManager",
     "LifecycleReport",
+    "ShardedIndex",
     "FullScanIndex",
     "SingleDimensionIndex",
     "ZOrderIndex",

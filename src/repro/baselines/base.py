@@ -17,8 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.common.errors import IndexBuildError
-from repro.query.query import Query
+from repro.common.errors import IndexBuildError, QueryError
+from repro.query.query import AGGREGATES, Query
 from repro.query.workload import Workload
 from repro.storage.scan import RowRange, ScanExecutor, ScanStats, coalesce_ranges
 from repro.storage.table import Table
@@ -52,6 +52,85 @@ class BuildReport:
         return self.sort_seconds + self.optimize_seconds
 
 
+@dataclass(frozen=True)
+class PartialAggregate:
+    """One execution's contribution to a recombined aggregate.
+
+    Wrappers that split a query across several executions — the delta buffer's
+    main-index-plus-buffer split, the sharded index's per-shard fan-out —
+    produce one partial per execution and recombine them with
+    :func:`combine_partial_results`.
+
+    ``value`` carries the aggregate-specific piece: the count for ``count``,
+    the partial sum for ``sum`` *and* ``avg`` (averages cannot be combined
+    from averages), and the partial extreme (``NaN`` when the execution
+    matched no rows) for ``min``/``max``.  ``matched`` is the number of rows
+    the execution matched, which is the denominator the ``avg`` recombination
+    needs.
+    """
+
+    value: float
+    matched: int
+    stats: ScanStats
+
+
+def avg_as_sum(query: Query) -> Query:
+    """The query a partial execution runs in place of an ``avg`` query.
+
+    ``avg`` cannot be combined from two averages, so each partial execution
+    runs the corresponding ``sum`` query instead; its scan counts the matching
+    rows as a side effect (``ScanStats.rows_matched``), which is exactly the
+    count the recombination needs — one pass per partial, not two.
+    """
+    if query.aggregate != "avg":
+        return query
+    return Query(
+        predicates=query.predicates,
+        aggregate="sum",
+        aggregate_column=query.aggregate_column,
+        query_type=query.query_type,
+    )
+
+
+def combine_partial_results(
+    aggregate: str, partials: Sequence[PartialAggregate]
+) -> QueryResult:
+    """Recombine per-execution partials into one result, per aggregate.
+
+    With no partials (every execution pruned) or no matched rows, the value
+    matches what a single scan over an empty selection returns: ``0`` for
+    ``count``/``sum``, ``NaN`` for ``avg``/``min``/``max``.  Stats are merged
+    across the partials in order, so recombined work counters equal the sum
+    of the per-execution counters.
+    """
+    if aggregate not in AGGREGATES:
+        raise QueryError(f"unsupported aggregate {aggregate!r}")
+    stats = ScanStats()
+    for partial in partials:
+        stats.merge(partial.stats)
+    if aggregate in ("count", "sum"):
+        value = 0.0
+        for partial in partials:
+            value += partial.value
+        return QueryResult(value=value, stats=stats)
+    if aggregate == "avg":
+        # Each partial executed the rewritten sum query (see avg_as_sum), so
+        # its value is a partial sum and its matched count the denominator.
+        total_sum = 0.0
+        total_count = 0
+        for partial in partials:
+            total_sum += partial.value
+            total_count += partial.matched
+        value = total_sum / total_count if total_count else float("nan")
+        return QueryResult(value=value, stats=stats)
+    # min / max: combine, treating NaN as "no rows in that execution".
+    candidates = [p.value for p in partials if not np.isnan(p.value)]
+    if not candidates:
+        return QueryResult(value=float("nan"), stats=stats)
+    combined = min(candidates) if aggregate == "min" else max(candidates)
+    return QueryResult(value=combined, stats=stats)
+
+
 def dedupe_queries(queries: Sequence[Query]) -> tuple[list[Query], list[int]]:
     """Collapse repeated query templates ahead of batch execution.
 
@@ -72,6 +151,36 @@ def dedupe_queries(queries: Sequence[Query]) -> tuple[list[Query], list[int]]:
             distinct.append(query)
         order.append(position)
     return distinct, order
+
+
+def expand_deduped_results(
+    results: Sequence[QueryResult], order: Sequence[int]
+) -> list[QueryResult]:
+    """Expand per-distinct-template results back to input order.
+
+    The inverse of :func:`dedupe_queries`: every input query gets the value
+    computed for its template plus an independent :class:`ScanStats` copy (a
+    duplicated query still reports its full logical work).
+    """
+    return [
+        QueryResult(value=results[position].value, stats=results[position].stats.copy())
+        for position in order
+    ]
+
+
+def serve_workload(index, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
+    """Execute every query in ``workload`` through ``index.execute``.
+
+    Returns the per-query results plus the merged work counters; shared by
+    every implementation of the serving contract's ``execute_workload``.
+    """
+    results = []
+    total = ScanStats()
+    for query in workload:
+        result = index.execute(query)
+        results.append(result)
+        total.merge(result.stats)
+    return results, total
 
 
 class ClusteredIndex(ABC):
@@ -187,13 +296,7 @@ class ClusteredIndex(ABC):
 
     def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
         """Execute every query in ``workload`` and return results plus total work."""
-        results = []
-        total = ScanStats()
-        for query in workload:
-            result = self.execute(query)
-            results.append(result)
-            total.merge(result.stats)
-        return results, total
+        return serve_workload(self, workload)
 
     def explain(self, query: Query) -> dict:
         """Describe how this index would answer ``query`` without executing it.

@@ -22,6 +22,8 @@ The extensions the paper sketches in §8 live here as well:
 * :mod:`repro.core.incremental` — incremental per-region re-optimization.
 * :mod:`repro.core.lifecycle` — the serving loop tying inserts, drift
   detection, and incremental re-optimization together.
+* :mod:`repro.core.sharding` — the scale-out serving layer fanning batches
+  across independently optimized partitions.
 """
 
 from repro.core.skeleton import (
@@ -45,6 +47,7 @@ from repro.core.outliers import OutlierBoundedMapping
 from repro.core.categorical import CategoricalReordering, co_access_counts
 from repro.core.delta import BufferScan, DeltaBuffer, DeltaBufferedIndex, MergeReport
 from repro.core.incremental import IncrementalReoptimizer, IncrementalReport, RegionShift
+from repro.core.sharding import ShardedIndex, balanced_cuts, scaled_tsunami_config
 from repro.core.lifecycle import (
     LifecycleConfig,
     LifecycleEvent,
@@ -81,6 +84,9 @@ __all__ = [
     "IncrementalReoptimizer",
     "IncrementalReport",
     "RegionShift",
+    "ShardedIndex",
+    "balanced_cuts",
+    "scaled_tsunami_config",
     "LifecycleConfig",
     "LifecycleEvent",
     "LifecycleManager",

@@ -18,58 +18,23 @@ is produced.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 
-@dataclass(frozen=True, init=False)
+@dataclass(frozen=True)
 class QueryPlanFeatures:
     """The cost-model features of one query plan.
 
-    ``points_scanned`` is the canonical field name, matching
-    :class:`repro.storage.scan.ScanStats`; the historical ``scanned_points``
-    spelling is kept as a deprecated constructor keyword and read-only alias.
+    ``points_scanned`` matches the field name of
+    :class:`repro.storage.scan.ScanStats`.
     """
 
     num_cell_ranges: int
     points_scanned: int
     num_filtered_dimensions: int
-
-    def __init__(
-        self,
-        num_cell_ranges: int = 0,
-        points_scanned: int | None = None,
-        num_filtered_dimensions: int = 0,
-        *,
-        scanned_points: int | None = None,
-    ) -> None:
-        if scanned_points is not None:
-            if points_scanned is not None:
-                raise TypeError(
-                    "pass either points_scanned or scanned_points, not both"
-                )
-            warnings.warn(
-                "QueryPlanFeatures(scanned_points=...) is deprecated; "
-                "use points_scanned",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            points_scanned = scanned_points
-        if points_scanned is None:
-            raise TypeError("QueryPlanFeatures requires points_scanned")
-        object.__setattr__(self, "num_cell_ranges", int(num_cell_ranges))
-        object.__setattr__(self, "points_scanned", int(points_scanned))
-        object.__setattr__(
-            self, "num_filtered_dimensions", int(num_filtered_dimensions)
-        )
-
-    @property
-    def scanned_points(self) -> int:
-        """Deprecated alias for :attr:`points_scanned`."""
-        return self.points_scanned
 
     @property
     def scan_work(self) -> int:

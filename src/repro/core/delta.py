@@ -39,7 +39,16 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.baselines.base import ClusteredIndex, QueryResult, dedupe_queries
+from repro.baselines.base import (
+    ClusteredIndex,
+    PartialAggregate,
+    QueryResult,
+    avg_as_sum,
+    combine_partial_results,
+    dedupe_queries,
+    expand_deduped_results,
+    serve_workload,
+)
 from repro.common.errors import IndexBuildError, QueryError, SchemaError
 from repro.query.query import Query
 from repro.query.workload import Workload
@@ -327,24 +336,6 @@ class DeltaBufferedIndex:
                 f"value {value!r} cannot be stored in column {column.name!r}: {exc}"
             ) from exc
 
-    def _convert_column(self, column: Column, values: list) -> np.ndarray:
-        """Vectorized user-value → storage-domain conversion for one column."""
-        if column.dictionary is not None:
-            try:
-                return column.dictionary.encode([str(value) for value in values])
-            except SchemaError as exc:
-                raise SchemaError(
-                    f"values cannot be stored in column {column.name!r}: {exc}"
-                ) from exc
-        try:
-            if column.scaler is not None:
-                return column.scaler.transform(np.asarray(values, dtype=np.float64))
-            return np.asarray(values, dtype=np.int64)
-        except (ValueError, TypeError) as exc:
-            raise SchemaError(
-                f"values cannot be stored in column {column.name!r}: {exc}"
-            ) from exc
-
     def _maybe_merge(self) -> None:
         if self.num_pending and self.num_pending >= self.merge_threshold:
             self.merge()
@@ -394,7 +385,7 @@ class DeltaBufferedIndex:
                 raise SchemaError(
                     f"insert is missing values for columns {missing}"
                 ) from None
-            columns[name] = self._convert_column(table.column(name), values)
+            columns[name] = table.column(name).to_storage_array(values)
         assert self._buffer is not None
         total = len(rows)
         offset = 0
@@ -458,47 +449,35 @@ class DeltaBufferedIndex:
     def _main_query(query: Query) -> Query:
         """The query the main index executes in place of ``query``.
 
-        ``avg`` cannot be combined from two averages, so the main index runs
-        the corresponding ``sum`` query instead; its scan counts the matching
-        rows as a side effect (``ScanStats.rows_matched``), which is exactly
-        the count the recombination needs — one main-index pass, not two.
+        ``avg`` runs the corresponding ``sum`` query (see
+        :func:`~repro.baselines.base.avg_as_sum`) so the recombination gets
+        the sum and the matched-row count from one main-index pass.
         """
-        if query.aggregate != "avg":
-            return query
-        return Query(
-            predicates=query.predicates,
-            aggregate="sum",
-            aggregate_column=query.aggregate_column,
-            query_type=query.query_type,
-        )
+        return avg_as_sum(query)
+
+    @staticmethod
+    def _buffer_partial(query: Query, scan: BufferScan) -> PartialAggregate:
+        """The buffer scan's contribution as a recombinable partial."""
+        if query.aggregate == "count":
+            value: float = scan.matched
+        elif query.aggregate in ("sum", "avg"):
+            value = scan.total
+        elif query.aggregate == "min":
+            value = scan.minimum
+        else:
+            value = scan.maximum
+        return PartialAggregate(value=value, matched=scan.matched, stats=scan.stats)
 
     def _combine(self, query: Query, main: QueryResult, scan: BufferScan) -> QueryResult:
         """Recombine the main index's result with the buffer scan, per aggregate."""
-        stats = ScanStats()
-        stats.merge(main.stats)
-        stats.merge(scan.stats)
-        if query.aggregate == "count":
-            return QueryResult(value=main.value + scan.matched, stats=stats)
-        if query.aggregate == "sum":
-            return QueryResult(value=main.value + scan.total, stats=stats)
-        if query.aggregate == "avg":
-            # ``main`` executed the rewritten sum query (see _main_query), so
-            # its value is the main-side sum and its rows_matched the count.
-            total_sum = main.value + scan.total
-            total_count = main.stats.rows_matched + scan.matched
-            value = total_sum / total_count if total_count else float("nan")
-            return QueryResult(value=value, stats=stats)
-        # min / max: combine, treating NaN as "no rows on that side".
-        buffer_extreme = scan.minimum if query.aggregate == "min" else scan.maximum
-        candidates = [
-            candidate
-            for candidate in (main.value, buffer_extreme)
-            if not np.isnan(candidate)
-        ]
-        if not candidates:
-            return QueryResult(value=float("nan"), stats=stats)
-        combined = min(candidates) if query.aggregate == "min" else max(candidates)
-        return QueryResult(value=combined, stats=stats)
+        # ``main`` executed the rewritten query (see _main_query), so for
+        # ``avg`` its value is the main-side sum and its rows_matched the count.
+        main_partial = PartialAggregate(
+            value=main.value, matched=main.stats.rows_matched, stats=main.stats
+        )
+        return combine_partial_results(
+            query.aggregate, [main_partial, self._buffer_partial(query, scan)]
+        )
 
     def execute(self, query: Query) -> QueryResult:
         """Answer ``query`` over the main index plus the delta buffer."""
@@ -530,22 +509,11 @@ class DeltaBufferedIndex:
             self._combine(query, main, self._buffer.scan(query))
             for query, main in zip(distinct, main_results)
         ]
-        return [
-            QueryResult(
-                value=combined[position].value, stats=combined[position].stats.copy()
-            )
-            for position in order
-        ]
+        return expand_deduped_results(combined, order)
 
     def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
         """Execute every query in ``workload`` and return results plus total work."""
-        results = []
-        total = ScanStats()
-        for query in workload:
-            result = self.execute(query)
-            results.append(result)
-            total.merge(result.stats)
-        return results, total
+        return serve_workload(self, workload)
 
     # -- reporting --------------------------------------------------------------------
 

@@ -27,13 +27,18 @@ from repro.storage.scan import RowRange, ScanExecutor, ScanStats
 from repro.storage.table import Table
 
 
-def execute_full_scan(table: Table, query: Query) -> tuple[float, ScanStats]:
+def execute_full_scan(
+    table: Table, query: Query, executor: ScanExecutor | None = None
+) -> tuple[float, ScanStats]:
     """Answer ``query`` by scanning the entire table.
 
     Returns the aggregate value and the scan work counters, exactly as an
     index-backed execution would, so results are directly comparable.
+    ``executor`` lets a caller that scans the same table repeatedly reuse
+    one executor instead of allocating per call.
     """
-    executor = ScanExecutor(table)
+    if executor is None:
+        executor = ScanExecutor(table)
     full_range = [RowRange(0, table.num_rows, exact=False)]
     return executor.execute(
         full_range,
@@ -64,6 +69,10 @@ class QueryEngine:
             raise QueryError(f"index {index.name!r} has not been built yet")
         self._index = index
         self._table = table
+        # The index-less fallback scans the same (never re-clustered) table on
+        # every query; one executor serves them all instead of allocating one
+        # per run() call.
+        self._scan_executor = ScanExecutor(table) if index is None else None
 
     @property
     def table(self) -> Table:
@@ -81,7 +90,7 @@ class QueryEngine:
 
         if self._index is not None:
             return self._index.execute(query)
-        value, stats = execute_full_scan(self._table, query)
+        value, stats = execute_full_scan(self._table, query, self._scan_executor)
         return QueryResult(value=value, stats=stats)
 
     def run_batch(self, queries: Sequence[Query], batch_size: int | None = None):

@@ -110,6 +110,24 @@ class Column:
             return self.scaler.transform_scalar(float(value))
         return int(value)
 
+    def to_storage_array(self, values: Sequence) -> np.ndarray:
+        """Vectorized :meth:`to_storage`: convert a whole sequence at once."""
+        if self.dictionary is not None:
+            try:
+                return self.dictionary.encode([str(value) for value in values])
+            except SchemaError as exc:
+                raise SchemaError(
+                    f"values cannot be stored in column {self.name!r}: {exc}"
+                ) from exc
+        try:
+            if self.scaler is not None:
+                return self.scaler.transform(np.asarray(values, dtype=np.float64))
+            return np.asarray(values, dtype=np.int64)
+        except (ValueError, TypeError) as exc:
+            raise SchemaError(
+                f"values cannot be stored in column {self.name!r}: {exc}"
+            ) from exc
+
     def to_user(self, value: int):
         """Convert a stored integer back to its user-facing value."""
         if self.dictionary is not None:

@@ -17,6 +17,20 @@ provides:
   :func:`save_table` and re-attached on load, so the snapshot does not keep
   two copies of the data and loading restores a fully queryable index without
   re-optimizing or re-sorting anything.
+* Updatable and sharded indexes snapshot structurally rather than as one
+  pickle: a :class:`~repro.core.delta.DeltaBufferedIndex` stores its wrapped
+  index under ``main/`` plus the delta buffer's columns, so pending inserts
+  round-trip exactly; a :class:`~repro.core.sharding.ShardedIndex` stores
+  each shard under ``shard_NN/`` (recursively — updatable shards keep their
+  buffers) plus the partition manifest.  The index factory both wrappers
+  carry is pickled when possible (module-level callables, classes,
+  ``functools.partial``); an unpicklable factory (a lambda) is replaced on
+  load by one that rebuilds a fresh instance of the wrapped index's class
+  with its recorded config.
+
+Objects that implement the serving contract but none of these layouts raise
+a typed :class:`~repro.common.errors.IndexBuildError` instead of failing with
+an ``AttributeError`` mid-write.
 
 Snapshots are trusted artifacts: like any pickle-based format they must only
 be loaded from directories this process (or an equally trusted one) wrote.
@@ -45,6 +59,12 @@ _TABLE_MANIFEST = "table.json"
 _TABLE_VALUES = "columns.npz"
 _INDEX_MANIFEST = "index.json"
 _INDEX_PICKLE = "index.pkl"
+_DELTA_MANIFEST = "delta.json"
+_DELTA_MAIN_DIR = "main"
+_BUFFER_VALUES = "buffer.npz"
+_SHARDED_MANIFEST = "sharded.json"
+_FACTORY_PICKLE = "factory.pkl"
+_WORKLOAD_PICKLE = "workload.pkl"
 
 
 # -- tables ---------------------------------------------------------------------------
@@ -123,11 +143,190 @@ def load_table(directory: str | Path) -> Table:
 # -- indexes ---------------------------------------------------------------------------
 
 
-def save_index(index: ClusteredIndex, directory: str | Path) -> Path:
-    """Snapshot a built index (structure plus its clustered table) to ``directory``."""
+def _write_index_manifest(path: Path, index, extra: dict | None = None) -> None:
+    """Write the top-level ``index.json`` every snapshot kind shares."""
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "index_name": index.name,
+        "index_class": type(index).__qualname__,
+        "index_size_bytes": index.index_size_bytes(),
+        "num_rows": index.table.num_rows,
+    }
+    manifest.update(extra or {})
+    with open(path / _INDEX_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def _save_factory(factory, path: Path) -> bool:
+    """Pickle the index factory next to the snapshot when possible.
+
+    Lambdas and other unpicklable callables are silently skipped; the loader
+    falls back to rebuilding fresh instances of the wrapped index's class.
+    """
+    try:
+        payload = pickle.dumps(factory, protocol=pickle.HIGHEST_PROTOCOL)
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return False
+    (path / _FACTORY_PICKLE).write_bytes(payload)
+    return True
+
+
+def _load_factory(path: Path):
+    """The pickled index factory, or ``None`` when it was not persistable."""
+    factory_path = path / _FACTORY_PICKLE
+    if not factory_path.exists():
+        return None
+    with open(factory_path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _fallback_factory(wrapped):
+    """A best-effort factory for snapshots whose original factory was a lambda.
+
+    Rebuilds fresh instances of the wrapped index's class, reusing its
+    ``config`` when it carries one (:class:`TsunamiIndex` does); classes with
+    required constructor arguments and no config cannot be reconstructed this
+    way and will fail at the next merge-triggered rebuild instead.
+    """
+    cls = type(wrapped)
+    config = getattr(wrapped, "config", None)
+    if config is not None:
+        return lambda: cls(config)
+    return cls
+
+
+def _read_manifest(path: Path, filename: str) -> dict:
+    with open(path / filename, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported index snapshot version {manifest.get('format_version')!r}"
+        )
+    return manifest
+
+
+def _save_delta_index(index, path: Path) -> Path:
+    """Snapshot an updatable index: wrapped index under ``main/`` plus buffer."""
+    path.mkdir(parents=True, exist_ok=True)
+    save_index(index.base_index, path / _DELTA_MAIN_DIR)
+    buffer = index.buffer
+    arrays = {name: np.asarray(buffer.column(name)) for name in buffer.column_names}
+    np.savez_compressed(path / _BUFFER_VALUES, **arrays)
+    _save_factory(index._index_factory, path)
+    if index.workload is not None:
+        # Merges rebuild the main index for this workload; losing it across a
+        # snapshot would silently degrade post-merge layouts to unoptimized.
+        with open(path / _WORKLOAD_PICKLE, "wb") as handle:
+            pickle.dump(index.workload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": "delta",
+        "merge_threshold": index.merge_threshold,
+        "pending_rows": index.num_pending,
+    }
+    with open(path / _DELTA_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    _write_index_manifest(path, index, {"kind": "delta", "num_rows": index.num_rows})
+    return path
+
+
+def _load_delta_index(path: Path):
+    from repro.core.delta import DeltaBuffer, DeltaBufferedIndex
+
+    manifest = _read_manifest(path, _DELTA_MANIFEST)
+    wrapped = load_index(path / _DELTA_MAIN_DIR)
+    factory = _load_factory(path) or _fallback_factory(wrapped)
+    index = DeltaBufferedIndex(factory, merge_threshold=int(manifest["merge_threshold"]))
+    index._index = wrapped
+    workload_path = path / _WORKLOAD_PICKLE
+    if workload_path.exists():
+        with open(workload_path, "rb") as handle:
+            index.workload = pickle.load(handle)
+    buffer = DeltaBuffer(wrapped.table.column_names)
+    with np.load(path / _BUFFER_VALUES) as archive:
+        arrays = {name: np.array(archive[name]) for name in archive.files}
+    if arrays and next(iter(arrays.values())).shape[0] > 0:
+        buffer.append_many(arrays)
+    index._buffer = buffer
+    if index.num_pending != int(manifest["pending_rows"]):
+        raise SchemaError(
+            f"snapshot pending-row mismatch: manifest says "
+            f"{manifest['pending_rows']}, buffer contains {index.num_pending}"
+        )
+    return index
+
+
+def _shard_dirname(position: int) -> str:
+    return f"shard_{position:02d}"
+
+
+def _save_sharded_index(index, path: Path) -> Path:
+    """Snapshot a sharded index: one subdirectory per shard plus the manifest."""
+    path.mkdir(parents=True, exist_ok=True)
+    shards = index.shards
+    for position, shard in enumerate(shards):
+        save_index(shard, path / _shard_dirname(position))
+    _save_factory(index._index_factory, path)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": "sharded",
+        "num_shards": len(shards),
+        "shard_dimension": index.dimension,
+        "boundaries": index.boundaries,
+        "parallelism": index.parallelism,
+        "table_name": index.table.name,
+        "shard_dirs": [_shard_dirname(position) for position in range(len(shards))],
+    }
+    with open(path / _SHARDED_MANIFEST, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    _write_index_manifest(
+        path, index, {"kind": "sharded", "num_rows": index.num_rows}
+    )
+    return path
+
+
+def _load_sharded_index(path: Path):
+    from repro.core.sharding import ShardedIndex
+
+    manifest = _read_manifest(path, _SHARDED_MANIFEST)
+    shards = [load_index(path / subdir) for subdir in manifest["shard_dirs"]]
+    if not shards:
+        raise IndexBuildError(f"sharded snapshot in {path} contains no shards")
+    factory = _load_factory(path) or _fallback_factory(shards[0])
+    return ShardedIndex._from_snapshot(
+        factory,
+        shards,
+        dimension=manifest["shard_dimension"],
+        boundaries=manifest["boundaries"],
+        parallelism=int(manifest["parallelism"]),
+        table_name=manifest["table_name"],
+    )
+
+
+def save_index(index, directory: str | Path) -> Path:
+    """Snapshot a built index (structure plus its clustered table) to ``directory``.
+
+    Plain :class:`ClusteredIndex` instances are pickled next to their table;
+    :class:`~repro.core.delta.DeltaBufferedIndex` and
+    :class:`~repro.core.sharding.ShardedIndex` snapshot structurally (see the
+    module docstring), so pending inserts and per-shard layouts round-trip.
+    Anything else raises :class:`IndexBuildError`.
+    """
+    from repro.core.delta import DeltaBufferedIndex
+    from repro.core.sharding import ShardedIndex
+
+    if not isinstance(index, (DeltaBufferedIndex, ShardedIndex, ClusteredIndex)):
+        raise IndexBuildError(
+            f"{type(index).__name__} does not support snapshotting; expected a "
+            "ClusteredIndex, DeltaBufferedIndex, or ShardedIndex"
+        )
     if not index.is_built:
         raise IndexBuildError("only a built index can be saved")
     path = Path(directory)
+    if isinstance(index, DeltaBufferedIndex):
+        return _save_delta_index(index, path)
+    if isinstance(index, ShardedIndex):
+        return _save_sharded_index(index, path)
     path.mkdir(parents=True, exist_ok=True)
     save_table(index.table, path)
 
@@ -141,21 +340,22 @@ def save_index(index: ClusteredIndex, directory: str | Path) -> Path:
     finally:
         index._table, index._executor = table, executor
 
-    manifest = {
-        "format_version": FORMAT_VERSION,
-        "index_name": index.name,
-        "index_class": type(index).__qualname__,
-        "index_size_bytes": index.index_size_bytes(),
-        "num_rows": index.table.num_rows,
-    }
-    with open(path / _INDEX_MANIFEST, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+    _write_index_manifest(path, index)
     return path
 
 
-def load_index(directory: str | Path) -> ClusteredIndex:
-    """Load an index snapshot written by :func:`save_index`, ready to query."""
+def load_index(directory: str | Path):
+    """Load an index snapshot written by :func:`save_index`, ready to query.
+
+    Dispatches on the snapshot layout: sharded and delta snapshots are
+    reassembled recursively; plain snapshots unpickle the index structure and
+    re-attach the stored table.
+    """
     path = Path(directory)
+    if (path / _SHARDED_MANIFEST).exists():
+        return _load_sharded_index(path)
+    if (path / _DELTA_MANIFEST).exists():
+        return _load_delta_index(path)
     pickle_path = path / _INDEX_PICKLE
     if not pickle_path.exists():
         raise IndexBuildError(f"no index snapshot found in {path}")

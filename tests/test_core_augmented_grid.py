@@ -111,7 +111,7 @@ class TestIndependentGrid:
         grid = build_grid(table, Skeleton.all_independent(["x", "y", "z"]), {"x": 16, "y": 1, "z": 1})
         query = Query.from_ranges({"x": (1000, 1500)})
         _, features = grid.plan(query)
-        assert features.scanned_points < table.num_rows / 4
+        assert features.points_scanned < table.num_rows / 4
 
     def test_single_partition_dimension_needs_no_model(self):
         table = correlated_table()
@@ -181,7 +181,7 @@ class TestFunctionalMappingGrid:
         grid = build_grid(table, self._skeleton(), {"x": 16, "z": 1})
         query = Query.from_ranges({"y": (4000, 4400)})
         _, features = grid.plan(query)
-        assert features.scanned_points < 0.4 * table.num_rows
+        assert features.points_scanned < 0.4 * table.num_rows
 
 
 class TestPlanningDetails:
@@ -214,7 +214,7 @@ class TestPlanningDetails:
         query = Query.from_ranges({"x": (2000, 7000), "z": (0, 100)})
         spans, features = grid.plan(query)
         assert features.num_cell_ranges == len(spans)
-        assert features.scanned_points == sum(stop - start for start, stop, _ in spans)
+        assert features.points_scanned == sum(stop - start for start, stop, _ in spans)
         assert features.num_filtered_dimensions == 2
 
     def test_offset_shifts_ranges(self):

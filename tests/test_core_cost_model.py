@@ -14,17 +14,15 @@ class TestQueryPlanFeatures:
         features = QueryPlanFeatures(1, 50, 0)
         assert features.scan_work == 50
 
-    def test_deprecated_scanned_points_keyword_warns(self):
-        with pytest.warns(DeprecationWarning):
-            features = QueryPlanFeatures(
+    def test_scanned_points_alias_is_gone(self):
+        # The PR-2-era deprecated spelling was removed once the migration to
+        # points_scanned completed; both the keyword and the attribute fail.
+        with pytest.raises(TypeError):
+            QueryPlanFeatures(
                 num_cell_ranges=1, scanned_points=25, num_filtered_dimensions=2
             )
-        assert features.points_scanned == 25
-        assert features.scanned_points == 25  # the read-only alias stays quiet
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError):
-            QueryPlanFeatures(1, points_scanned=10, scanned_points=10)
+        features = QueryPlanFeatures(1, 25, 2)
+        assert not hasattr(features, "scanned_points")
 
 
 class TestCostModelPredict:

@@ -153,8 +153,8 @@ class TestConfigurationEvaluator:
         features = evaluator.features_for(
             Skeleton.all_independent(["x", "y", "z", "w"]), {"x": 4, "y": 1, "z": 1, "w": 1}
         )
-        assert max(f.scanned_points for f in features) <= table.num_rows
-        assert any(f.scanned_points > 2_000 for f in features)
+        assert max(f.points_scanned for f in features) <= table.num_rows
+        assert any(f.points_scanned > 2_000 for f in features)
 
     def test_query_subsampling(self, table, workload):
         evaluator = ConfigurationEvaluator(table, workload, max_evaluation_queries=10)

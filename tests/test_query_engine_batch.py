@@ -113,6 +113,33 @@ class TestQueryEngine:
         with pytest.raises(QueryError):
             QueryEngine(index=index).run_batch(list(workload), batch_size=0)
 
+    def test_full_scan_fallback_reuses_one_executor(self, monkeypatch):
+        # The index-less engine used to construct a fresh ScanExecutor on
+        # every run() call; it must allocate exactly one per engine instead.
+        import repro.query.engine as engine_module
+
+        constructed = []
+        real_executor = engine_module.ScanExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, table):
+                constructed.append(table)
+                super().__init__(table)
+
+        monkeypatch.setattr(engine_module, "ScanExecutor", CountingExecutor)
+        table = make_table(seed=7)
+        engine = QueryEngine(table=table)
+        queries = [Query.from_ranges({"x": (0, i * 500)}) for i in range(1, 6)]
+        for query in queries:
+            engine.run(query)
+        engine.run_batch(queries)
+        assert len(constructed) == 1
+
+    def test_indexed_engine_skips_fallback_executor(self, built_tsunami):
+        _, _, index = built_tsunami
+        engine = QueryEngine(index=index)
+        assert engine._scan_executor is None
+
 
 class TestPlanCacheLifecycle:
     def test_repeated_queries_hit_cache(self, built_tsunami):

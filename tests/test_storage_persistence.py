@@ -1,15 +1,19 @@
 """Tests for table and index snapshots (§8 extension, repro.storage.persistence)."""
 
 import json
+from functools import partial
 
 import numpy as np
 import pytest
 
 from repro.baselines import KdTreeIndex
 from repro.common.errors import IndexBuildError, SchemaError
+from repro.core.delta import DeltaBufferedIndex
+from repro.core.sharding import ShardedIndex
 from repro.core.tsunami import TsunamiConfig, TsunamiIndex
 from repro.query.engine import execute_full_scan
 from repro.query.query import Query
+from repro.query.workload import Workload
 from repro.storage.persistence import (
     load_index,
     load_table,
@@ -128,6 +132,189 @@ class TestIndexRoundTrip:
     def test_missing_snapshot_rejected(self, tmp_path):
         with pytest.raises(IndexBuildError):
             load_index(tmp_path)
+
+    def test_unsupported_object_raises_typed_error(self, tmp_path):
+        # The historical failure mode was an AttributeError on `_table`
+        # mid-write; anything outside the snapshot contract must fail with
+        # the typed error before touching the disk.
+        class NotAnIndex:
+            is_built = True
+
+        with pytest.raises(IndexBuildError, match="does not support snapshotting"):
+            save_index(NotAnIndex(), tmp_path)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDeltaRoundTrip:
+    """`save_index` on a DeltaBufferedIndex used to crash with AttributeError
+    ('_table'), silently losing pending inserts; these tests pin the fix."""
+
+    def build_delta(self, merge_threshold: int = 1_000_000) -> DeltaBufferedIndex:
+        table = mixed_table()
+        index = DeltaBufferedIndex(
+            partial(KdTreeIndex, page_size=128), merge_threshold=merge_threshold
+        )
+        return index.build(table, None)
+
+    def pending_rows(self, count: int, seed: int = 5) -> list[dict]:
+        rng = np.random.default_rng(seed)
+        return [
+            {
+                "quantity": int(rng.integers(0, 100)),
+                "price": round(float(rng.uniform(1, 500)), 2),
+                "mode": ["air", "rail", "ship", "truck"][int(rng.integers(0, 4))],
+            }
+            for _ in range(count)
+        ]
+
+    def queries(self) -> list[Query]:
+        return [
+            Query.from_ranges({"quantity": (0, 50)}),
+            Query.from_ranges({"quantity": (0, 99)}, aggregate="sum", aggregate_column="quantity"),
+            Query.from_ranges({"quantity": (10, 40)}, aggregate="avg", aggregate_column="quantity"),
+            Query.from_ranges({"quantity": (90, 99)}, aggregate="min", aggregate_column="quantity"),
+        ]
+
+    def test_round_trip_with_pending_inserts(self, tmp_path):
+        index = self.build_delta()
+        index.insert_many(self.pending_rows(64))
+        assert index.num_pending == 64
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert isinstance(loaded, DeltaBufferedIndex)
+        assert loaded.num_pending == 64
+        assert loaded.num_rows == index.num_rows
+        for name in index.buffer.column_names:
+            assert np.array_equal(loaded.buffer.column(name), index.buffer.column(name))
+        for query in self.queries():
+            assert loaded.execute(query).value == index.execute(query).value
+
+    def test_round_trip_with_empty_buffer(self, tmp_path):
+        index = self.build_delta()
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert loaded.num_pending == 0
+        for query in self.queries():
+            assert loaded.execute(query).value == index.execute(query).value
+
+    def test_original_index_still_usable_after_save(self, tmp_path):
+        index = self.build_delta()
+        index.insert_many(self.pending_rows(16))
+        save_index(index, tmp_path)
+        assert index.num_pending == 16
+        query = self.queries()[0]
+        expected, _ = execute_full_scan(index.table, query)
+        assert index.execute(query).value >= expected  # buffer rows still counted
+
+    def test_loaded_index_can_keep_inserting_and_merge(self, tmp_path):
+        index = self.build_delta()
+        index.insert_many(self.pending_rows(8))
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        loaded.insert_many(self.pending_rows(8, seed=6))
+        assert loaded.num_pending == 16
+        report = loaded.merge()
+        assert report is not None and report.rows_merged == 16
+        assert loaded.num_pending == 0
+
+    def test_lambda_factory_falls_back_to_wrapped_class(self, tmp_path):
+        table = mixed_table()
+        index = DeltaBufferedIndex(
+            lambda: KdTreeIndex(page_size=128), merge_threshold=1_000_000
+        )
+        index.build(table, None)
+        index.insert_many(self.pending_rows(4))
+        save_index(index, tmp_path)
+        assert not (tmp_path / "factory.pkl").exists()
+        loaded = load_index(tmp_path)
+        assert loaded.num_pending == 4
+        # The fallback factory rebuilds the wrapped class, so merges work.
+        assert loaded.merge().rows_merged == 4
+
+    def test_rebuild_workload_survives_the_snapshot(self, tmp_path):
+        table = mixed_table()
+        workload = Workload(
+            [Query.from_ranges({"quantity": (0, 50)}) for _ in range(3)],
+            name="rebuilds",
+        )
+        index = DeltaBufferedIndex(
+            partial(KdTreeIndex, page_size=128), merge_threshold=1_000_000
+        )
+        index.build(table, workload)
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert loaded.workload is not None
+        assert list(loaded.workload) == list(workload)
+
+    def test_snapshot_info_reports_delta_kind(self, tmp_path):
+        index = self.build_delta()
+        index.insert_many(self.pending_rows(10))
+        save_index(index, tmp_path)
+        info = snapshot_info(tmp_path)
+        assert info["index"]["kind"] == "delta"
+        assert info["index"]["index_name"] == "delta-buffered"
+
+
+class TestShardedRoundTrip:
+    def build_sharded(self, factory=None) -> ShardedIndex:
+        table = mixed_table()
+        index = ShardedIndex(
+            factory or partial(KdTreeIndex, page_size=128),
+            num_shards=3,
+            shard_dimension="quantity",
+        )
+        return index.build(table, None)
+
+    def queries(self) -> list[Query]:
+        return [
+            Query.from_ranges({"quantity": (0, 30)}),
+            Query.from_ranges({"quantity": (0, 99)}, aggregate="sum", aggregate_column="quantity"),
+            Query.from_ranges({"quantity": (40, 70)}, aggregate="avg", aggregate_column="quantity"),
+        ]
+
+    def test_round_trip_per_shard_subdirectories(self, tmp_path):
+        index = self.build_sharded()
+        save_index(index, tmp_path)
+        assert (tmp_path / "sharded.json").exists()
+        for position in range(len(index.shards)):
+            assert (tmp_path / f"shard_{position:02d}" / "index.json").exists()
+        loaded = load_index(tmp_path)
+        assert isinstance(loaded, ShardedIndex)
+        assert loaded.boundaries == index.boundaries
+        assert loaded.dimension == index.dimension
+        assert loaded.num_rows == index.num_rows
+        for query in self.queries():
+            assert loaded.execute(query).value == index.execute(query).value
+
+    def test_round_trip_with_updatable_shards_and_pending(self, tmp_path):
+        factory = partial(
+            DeltaBufferedIndex, partial(KdTreeIndex, page_size=128),
+            merge_threshold=1_000_000,
+        )
+        index = self.build_sharded(factory)
+        rng = np.random.default_rng(9)
+        index.insert_many(
+            [
+                {
+                    "quantity": int(rng.integers(0, 100)),
+                    "price": round(float(rng.uniform(1, 500)), 2),
+                    "mode": "air",
+                }
+                for _ in range(40)
+            ]
+        )
+        assert index.num_pending == 40
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        assert loaded.num_pending == 40
+        for query in self.queries():
+            assert loaded.execute(query).value == index.execute(query).value
+
+    def test_snapshot_info_reports_sharded_kind(self, tmp_path):
+        save_index(self.build_sharded(), tmp_path)
+        info = snapshot_info(tmp_path)
+        assert info["index"]["kind"] == "sharded"
+        assert info["index"]["index_name"] == "sharded"
 
 
 class TestSnapshotInfo:
