@@ -274,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
     if output is None and not args.smoke:
         output = REPO_ROOT / "BENCH_shards.json"
     if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {output}", file=sys.stderr)
 

@@ -8,6 +8,8 @@ The public API re-exported here is what the examples and benchmarks use:
 * The paper's contribution: :class:`~repro.core.tsunami.TsunamiIndex`.
 * Baselines: Flood and the non-learned indexes from §6.1.
 * Dataset and workload generators standing in for the paper's evaluation data.
+* Serving: :class:`~repro.serve.frontend.ServingFrontend` — the concurrent
+  micro-batching front-end with its result cache.
 """
 
 from repro.storage import (
@@ -51,8 +53,14 @@ from repro.baselines import (
     RTreeIndex,
     FloodIndex,
 )
+from repro.serve import (
+    MicroBatcher,
+    ResultCache,
+    ServingConfig,
+    ServingFrontend,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Table",
@@ -94,5 +102,9 @@ __all__ = [
     "GridFileIndex",
     "RTreeIndex",
     "FloodIndex",
+    "MicroBatcher",
+    "ResultCache",
+    "ServingConfig",
+    "ServingFrontend",
     "__version__",
 ]

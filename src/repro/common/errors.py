@@ -10,6 +10,9 @@ failures by subsystem:
   and workload it was given.
 * :class:`OptimizationError` — the layout optimizer could not converge or was
   given an infeasible configuration.
+* :class:`ServingError` — the concurrent serving front-end could not accept
+  or complete a request (with :class:`ServerOverloadedError` for backpressure
+  rejections and :class:`ServerClosedError` for requests after shutdown).
 """
 
 from __future__ import annotations
@@ -33,3 +36,20 @@ class IndexBuildError(ReproError):
 
 class OptimizationError(ReproError):
     """Layout optimization failed or was configured inconsistently."""
+
+
+class ServingError(ReproError):
+    """The serving front-end could not accept or complete a request."""
+
+
+class ServerOverloadedError(ServingError):
+    """The admission queue is full; the request was rejected (backpressure).
+
+    Clients receiving this should back off and retry — the server sheds load
+    instead of queueing unboundedly, which is what keeps tail latency bounded
+    under overload.
+    """
+
+
+class ServerClosedError(ServingError):
+    """The serving front-end has been shut down and accepts no new requests."""

@@ -22,7 +22,10 @@ where it moved.  :class:`LifecycleManager` ties them into one loop:
 
 Everything the loop does is recorded in a :class:`LifecycleReport` (counters
 plus an ordered :class:`LifecycleEvent` log) that the benchmarks serialize via
-:meth:`LifecycleReport.as_dict`.
+:meth:`LifecycleReport.as_dict`, and every event is also pushed to listeners
+registered via :meth:`LifecycleManager.subscribe` — that is how the serving
+front-end's result cache learns that a merge or reoptimization it did not
+initiate (buffer pressure, drift) made its entries stale.
 """
 
 from __future__ import annotations
@@ -160,6 +163,7 @@ class LifecycleManager:
         )
         self._report = LifecycleReport()
         self._window: list[Query] = []
+        self._listeners: list[Callable[[LifecycleEvent], None]] = []
         self._detector = detector if detector is not None else self._fit_detector()
 
     def _fit_detector(self) -> WorkloadDriftDetector | None:
@@ -291,15 +295,35 @@ class LifecycleManager:
             self.index.workload = base.typed_workload or observed
             self._detector = self._detector.refit(base.typed_workload or observed, base.table)
 
+    # -- event listeners ----------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[LifecycleEvent], None]) -> None:
+        """Register ``listener`` to be called with every :class:`LifecycleEvent`.
+
+        Listeners fire synchronously, on whichever thread triggered the
+        maintenance (a serving call or an insert), immediately after the
+        event is recorded — so a result cache invalidating in its listener is
+        clear before the triggering call returns.  The same listener is only
+        registered once.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[LifecycleEvent], None]) -> None:
+        """Remove ``listener``; unknown listeners are ignored."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def _record(self, kind: str, seconds: float, details: dict) -> None:
-        self._report.events.append(
-            LifecycleEvent(
-                kind=kind,
-                at_query=self._report.queries_served,
-                seconds=seconds,
-                details=details,
-            )
+        event = LifecycleEvent(
+            kind=kind,
+            at_query=self._report.queries_served,
+            seconds=seconds,
+            details=details,
         )
+        self._report.events.append(event)
+        for listener in list(self._listeners):
+            listener(event)
 
     def tick(self) -> list[LifecycleEvent]:
         """Run one maintenance pass now, regardless of thresholds.

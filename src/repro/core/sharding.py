@@ -432,6 +432,25 @@ class ShardedIndex:
             return list(self._pool.map(function, tasks))
         return [function(task) for task in tasks]
 
+    def close(self) -> None:
+        """Shut down the fan-out worker pool (idempotent).
+
+        Long-running servers would otherwise leak the persistent pool's
+        threads on every index they retire.  The index remains usable after
+        closing: the next threaded batch lazily recreates the pool.  The
+        serving front-end's shutdown path calls this through
+        :meth:`~repro.query.engine.QueryEngine.close`.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def execute(self, query: Query) -> QueryResult:
         """Answer ``query`` over every non-pruned shard and recombine."""
         self._require_built()

@@ -112,6 +112,45 @@ class QueryEngine:
             results.extend(self._index.execute_batch(queries[start : start + step]))
         return results
 
+    def insert(self, row) -> None:
+        """Insert one row through an updatable index (delta or sharded)."""
+        self.insert_many([row])
+
+    def insert_many(self, rows: Sequence) -> None:
+        """Insert rows through an updatable index.
+
+        Delegates to the wrapped index's vectorized ``insert_many`` (the
+        delta buffer's columnar path, or the sharded router); raises
+        :class:`QueryError` when the index — or the index-less full-scan
+        fallback — does not support inserts.
+        """
+        insert = getattr(self._index, "insert_many", None)
+        if insert is None:
+            target = "full-scan fallback" if self._index is None else (
+                f"index {self._index.name!r}"
+            )
+            raise QueryError(
+                f"{target} does not support inserts; wrap it in a "
+                "DeltaBufferedIndex or use updatable shards"
+            )
+        insert(rows)
+
+    def close(self) -> None:
+        """Release index resources (e.g. a sharded index's worker pool).
+
+        Indexes without a ``close`` are left untouched; the engine itself
+        remains usable.  Idempotent, and also available as a context manager.
+        """
+        close = getattr(self._index, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def explain(self, query: Query) -> dict:
         """Describe how ``query`` would be answered without executing it."""
         if self._index is not None:

@@ -1,0 +1,341 @@
+"""The concurrent serving front-end: many clients, one batched pipeline.
+
+Everything below the serving contract is a single-threaded library; the
+ROADMAP's "heavy traffic from millions of users" needs the piece that turns
+many concurrent clients into the batched calls the PR 2 pipeline is built
+for.  :class:`ServingFrontend` is that piece:
+
+* **Micro-batching.**  Client threads call :meth:`ServingFrontend.query`;
+  arrivals are coalesced by a :class:`~repro.serve.batcher.MicroBatcher`
+  (flush on batch-size, arrival pause, or deadline, whichever first — the
+  window adapts to the offered load) and a single dispatcher
+  thread drives them through the backend's ``run_batch`` — template dedup,
+  one grid-tree traversal per batch, shared scans.  Bursty skewed traffic
+  amortizes almost for free.
+* **Result cache.**  A :class:`~repro.serve.cache.ResultCache` answers
+  repeated templates without touching the engine.  It is invalidated on
+  every write admitted through the front-end and on every ``merge`` /
+  ``reoptimize`` event a :class:`~repro.core.lifecycle.LifecycleManager`
+  backend reports (subscription wired automatically), so updatable indexes
+  stay correct; results computed by a batch that *overlapped* such an event
+  are returned to their clients but never cached (version check).
+* **Backpressure.**  Admission is bounded; beyond ``max_queue_depth``
+  pending requests, :meth:`query` rejects with a typed
+  :class:`~repro.common.errors.ServerOverloadedError` instead of queueing
+  unboundedly.
+
+The backend is anything with ``run_batch(queries) -> list[QueryResult]``:
+a :class:`~repro.query.engine.QueryEngine` (read-only or wrapping a
+:class:`~repro.core.sharding.ShardedIndex` / delta index) or a
+:class:`~repro.core.lifecycle.LifecycleManager` (which also observes served
+queries for drift).  Writes (:meth:`insert` / :meth:`insert_many`) are
+forwarded to the backend when it supports them and serialized against
+in-flight batches, so a batch never executes against a half-applied write.
+
+Concurrent serving through this front-end is bit-identical to sequential
+uncached execution: batches preserve arrival order per request, the cache
+only replays results computed by the same engine, and the differential tests
+in ``tests/test_serve_frontend.py`` pin exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.baselines.base import QueryResult
+from repro.common.errors import ServerClosedError, ServingError
+from repro.query.query import Query
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ResultCache
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving front-end.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush the micro-batch window as soon as this many requests pend.
+    max_delay_seconds:
+        Flush no later than this long after the oldest pending arrival; this
+        is the worst-case latency a lone query pays for batching.
+    idle_gap_seconds:
+        Flush early when no new request arrives within this gap — the window
+        cannot grow while the stream is paused, so holding the batch open
+        only adds latency.  ``None`` always waits the full window.
+    max_queue_depth:
+        Bounded admission queue; requests beyond it are rejected with
+        :class:`~repro.common.errors.ServerOverloadedError`.
+    cache_entries:
+        Capacity of the LRU result cache; ``0`` disables result caching.
+    close_backend:
+        Whether :meth:`ServingFrontend.close` also closes the backend (which
+        in turn shuts down e.g. a sharded index's thread pool).
+    """
+
+    max_batch_size: int = 256
+    max_delay_seconds: float = 0.002
+    idle_gap_seconds: float | None = 0.00025
+    max_queue_depth: int = 2048
+    cache_entries: int = 4096
+    close_backend: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_entries < 0:
+            raise ServingError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        # Window/queue bounds are validated by MicroBatcher at construction.
+
+
+@dataclass
+class ServingStats:
+    """Running totals of everything the front-end has done."""
+
+    queries_submitted: int = 0
+    queries_served: int = 0
+    cache_hits: int = 0
+    rejections: int = 0
+    write_batches: int = 0
+    rows_inserted: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary for benchmark reports."""
+        return {
+            "queries_submitted": self.queries_submitted,
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "rejections": self.rejections,
+            "write_batches": self.write_batches,
+            "rows_inserted": self.rows_inserted,
+            "invalidations": self.invalidations,
+        }
+
+
+class _PendingQuery:
+    """One admitted request: the query plus its completion rendezvous."""
+
+    __slots__ = ("query", "done", "result", "error")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.done = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: BaseException | None = None
+
+
+class ServingFrontend:
+    """Serves many concurrent clients through one micro-batched pipeline.
+
+    Parameters
+    ----------
+    backend:
+        Anything with ``run_batch(queries)``; a
+        :class:`~repro.core.lifecycle.LifecycleManager` backend additionally
+        gets its maintenance events wired into cache invalidation, and a
+        backend with ``insert_many`` makes the front-end updatable.
+    config:
+        Micro-batching window, admission bound, and cache capacity.
+    """
+
+    def __init__(self, backend, config: ServingConfig | None = None) -> None:
+        if not hasattr(backend, "run_batch"):
+            raise ServingError(
+                f"backend {type(backend).__name__!r} does not implement "
+                "run_batch; wrap the index in a QueryEngine or LifecycleManager"
+            )
+        self.backend = backend
+        self.config = config or ServingConfig()
+        self.stats = ServingStats()
+        self._batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_delay_seconds=self.config.max_delay_seconds,
+            max_queue_depth=self.config.max_queue_depth,
+            idle_gap_seconds=self.config.idle_gap_seconds,
+        )
+        self._cache = (
+            ResultCache(self.config.cache_entries)
+            if self.config.cache_entries
+            else None
+        )
+        # Serializes writes against in-flight batch executions, and guards the
+        # cache-fill version check: a batch only caches its results if no
+        # invalidation happened after it started executing.
+        self._exec_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._version = 0
+        self._closed = False
+        self._subscribed = False
+        if hasattr(backend, "subscribe"):
+            backend.subscribe(self._on_lifecycle_event)
+            self._subscribed = True
+        self._dispatcher = threading.Thread(
+            target=self._serve_loop, name="serving-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client API --------------------------------------------------------------------
+
+    def query(self, query: Query, timeout: float | None = None) -> QueryResult:
+        """Answer ``query``, blocking until it is served.
+
+        Safe to call from any number of threads.  Raises
+        :class:`~repro.common.errors.ServerOverloadedError` when the
+        admission queue is full, :class:`ServerClosedError` after
+        :meth:`close`, and :class:`ServingError` on ``timeout`` (seconds).
+        """
+        self._require_open()
+        self.stats.queries_submitted += 1
+        if self._cache is not None:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        pending = _PendingQuery(query)
+        try:
+            self._batcher.put(pending)
+        except ServingError:
+            self.stats.rejections += 1
+            raise
+        if not pending.done.wait(timeout):
+            raise ServingError(
+                f"query was not served within {timeout} seconds"
+            )
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def insert(self, row) -> None:
+        """Insert one row through the backend, invalidating the result cache."""
+        self.insert_many([row])
+
+    def insert_many(self, rows) -> None:
+        """Insert rows through the backend, invalidating the result cache.
+
+        The write is serialized against in-flight batches, so no batch
+        executes against a half-applied write, and every result cached before
+        the write is dropped (pending delta-buffer rows are visible to
+        queries immediately, so results go stale at insert time, not merge
+        time).
+        """
+        rows = list(rows)
+        self._require_open()
+        insert = getattr(self.backend, "insert_many", None)
+        if insert is None:
+            raise ServingError(
+                f"backend {type(self.backend).__name__!r} does not support "
+                "inserts; serve an updatable index (DeltaBufferedIndex, "
+                "updatable ShardedIndex, or a LifecycleManager)"
+            )
+        with self._exec_lock:
+            insert(rows)
+        self.stats.write_batches += 1
+        self.stats.rows_inserted += len(rows)
+        self.invalidate_cache()
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached result and fence in-flight batches off the cache."""
+        with self._state_lock:
+            self._version += 1
+            self.stats.invalidations += 1
+        if self._cache is not None:
+            self._cache.invalidate()
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache (``None`` when disabled by configuration)."""
+        return self._cache
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The admission queue (live object; its stats feed the benchmarks)."""
+        return self._batcher
+
+    def describe(self) -> dict:
+        """Operational statistics: serving, batching, and cache counters."""
+        return {
+            "serving": self.stats.as_dict(),
+            "batching": self._batcher.stats.as_dict(),
+            "cache": self._cache.stats.as_dict() if self._cache else None,
+        }
+
+    # -- dispatcher --------------------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._batcher.take()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list) -> None:
+        queries = [pending.query for pending in batch]
+        with self._exec_lock:
+            with self._state_lock:
+                version = self._version
+            try:
+                results = self.backend.run_batch(queries)
+            except BaseException as exc:  # propagate to every waiting client
+                for pending in batch:
+                    pending.error = exc
+                    pending.done.set()
+                return
+            # A lifecycle merge/reoptimize during run_batch bumps the version
+            # (listener below); results handed to clients are still correct
+            # for their execution, but must not outlive the invalidation in
+            # the cache.
+            with self._state_lock:
+                cacheable = self._cache is not None and version == self._version
+            for pending, result in zip(batch, results):
+                if cacheable:
+                    self._cache.put(pending.query, result)
+                pending.result = result
+                pending.done.set()
+        self.stats.queries_served += len(batch)
+
+    def _on_lifecycle_event(self, event) -> None:
+        if event.kind in ("merge", "reoptimize"):
+            self.invalidate_cache()
+
+    # -- shutdown ----------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServerClosedError("serving front-end is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed admission shutdown."""
+        return self._closed
+
+    def close(self) -> None:
+        """Stop admissions, drain pending requests, and release resources.
+
+        Queued queries are still served (their clients unblock normally);
+        then the dispatcher exits, the lifecycle subscription is removed, and
+        — when ``config.close_backend`` — the backend's own ``close`` runs
+        (which shuts down e.g. a sharded index's worker pool).  Idempotent.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close()
+        self._dispatcher.join()
+        if self._subscribed and hasattr(self.backend, "unsubscribe"):
+            self.backend.unsubscribe(self._on_lifecycle_event)
+            self._subscribed = False
+        if self.config.close_backend:
+            close = getattr(self.backend, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

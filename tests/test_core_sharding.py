@@ -6,6 +6,8 @@ to the equivalent single index — including empty selections, queries pruned
 down to a subset of shards, and shards holding pending (unmerged) inserts.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -471,3 +473,47 @@ class TestUpdatableShards:
         with pytest.raises(SchemaError):
             sharded.insert_many(rows)
         assert sharded.num_pending == 0
+
+
+class TestPoolShutdown:
+    def test_close_shuts_down_the_worker_pool(self):
+        queries = make_queries()
+        sharded = ShardedIndex(
+            tsunami_factory, num_shards=4, shard_dimension="x", parallelism=4
+        )
+        sharded.build(make_table(), make_workload(queries))
+        sharded.execute_batch(queries)  # spins up the lazy pool
+        assert sharded._pool is not None
+        worker_threads = [
+            t for t in threading.enumerate() if t.name.startswith("shard")
+        ]
+        assert worker_threads
+        sharded.close()
+        assert sharded._pool is None
+        for thread in worker_threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+
+    def test_close_is_idempotent_and_index_stays_usable(self):
+        queries = make_queries()
+        sharded = ShardedIndex(
+            tsunami_factory, num_shards=4, shard_dimension="x", parallelism=4
+        )
+        sharded.build(make_table(), make_workload(queries))
+        before = [r.value for r in sharded.execute_batch(queries[:8])]
+        sharded.close()
+        sharded.close()  # idempotent, including with no pool ever created
+        # The next threaded batch lazily recreates the pool.
+        after = [r.value for r in sharded.execute_batch(queries[:8])]
+        assert after == before
+        assert sharded._pool is not None
+        sharded.close()
+
+    def test_context_manager_closes_pool(self):
+        queries = make_queries()
+        with ShardedIndex(
+            tsunami_factory, num_shards=4, shard_dimension="x", parallelism=4
+        ) as sharded:
+            sharded.build(make_table(), make_workload(queries))
+            sharded.execute_batch(queries)
+        assert sharded._pool is None

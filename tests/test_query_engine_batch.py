@@ -187,3 +187,47 @@ class TestGridTreeBatchRouting:
         for query, nodes in zip(queries, routed):
             expected = index.grid_tree.regions_for_query(query)
             assert [n.region_id for n in nodes] == [n.region_id for n in expected]
+
+
+class TestEngineWriteAndClose:
+    def test_insert_many_forwards_to_updatable_index(self):
+        from repro.core.delta import DeltaBufferedIndex
+
+        table = make_table()
+        workload = make_workload()
+        index = DeltaBufferedIndex(
+            lambda: make_tsunami(optimizer_iterations=1), merge_threshold=100_000
+        )
+        index.build(table, workload)
+        engine = QueryEngine(index)
+        probe = Query.from_ranges({"x": (500, 520)})
+        before = engine.run(probe).value
+        engine.insert({"x": 510, "y": 1020, "z": 3})
+        engine.insert_many([{"x": 505, "y": 1010, "z": 4}] * 2)
+        assert engine.run(probe).value == before + 3
+
+    def test_insert_rejected_for_read_only_index(self, built_tsunami):
+        _, _, index = built_tsunami
+        with pytest.raises(QueryError):
+            QueryEngine(index).insert_many([{"x": 1, "y": 2, "z": 3}])
+
+    def test_insert_rejected_for_full_scan_fallback(self):
+        engine = QueryEngine(table=make_table(num_rows=100))
+        with pytest.raises(QueryError):
+            engine.insert({"x": 1, "y": 2, "z": 3})
+
+    def test_close_reaches_index_and_is_context_managed(self, built_tsunami):
+        _, workload, index = built_tsunami
+        closes = []
+        index.close = lambda: closes.append(True)  # duck-typed hook
+        try:
+            with QueryEngine(index) as engine:
+                engine.run(list(workload)[0])
+            assert closes == [True]
+        finally:
+            del index.close
+
+    def test_close_without_index_close_is_a_noop(self, built_tsunami):
+        _, _, index = built_tsunami
+        QueryEngine(index).close()  # TsunamiIndex has no close; must not raise
+        QueryEngine(table=make_table(num_rows=50)).close()

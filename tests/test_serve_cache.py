@@ -1,0 +1,197 @@
+"""Tests for the serving result cache and the micro-batching admission queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines.base import QueryResult
+from repro.common.errors import ServerClosedError, ServerOverloadedError, ServingError
+from repro.query.query import Query
+from repro.serve import MicroBatcher, ResultCache
+from repro.storage.scan import ScanStats
+
+
+def make_query(low: int = 0, high: int = 100) -> Query:
+    return Query.from_ranges({"x": (low, high)})
+
+
+def make_result(value: float, matched: int = 3) -> QueryResult:
+    stats = ScanStats()
+    stats.rows_matched = matched
+    stats.points_scanned = matched * 2
+    return QueryResult(value=value, stats=stats)
+
+
+class TestResultCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(8)
+        query = make_query()
+        assert cache.get(query) is None
+        cache.put(query, make_result(7.0))
+        hit = cache.get(query)
+        assert hit is not None and hit.value == 7.0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_returns_independent_stats_copies(self):
+        cache = ResultCache(8)
+        query = make_query()
+        original = make_result(7.0, matched=5)
+        cache.put(query, original)
+        original.stats.rows_matched = 999  # caller mutates its own copy
+        first = cache.get(query)
+        first.stats.rows_matched = 123  # and so does a cache client
+        second = cache.get(query)
+        assert first.stats.rows_matched == 123
+        assert second.stats.rows_matched == 5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        a, b, c = make_query(0, 1), make_query(0, 2), make_query(0, 3)
+        cache.put(a, make_result(1.0))
+        cache.put(b, make_result(2.0))
+        cache.get(a)  # a is now most recently used
+        cache.put(c, make_result(3.0))  # evicts b
+        assert cache.get(b) is None
+        assert cache.get(a).value == 1.0
+        assert cache.get(c).value == 3.0
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_clears_entries_keeps_counters(self):
+        cache = ResultCache(8)
+        query = make_query()
+        cache.put(query, make_result(7.0))
+        assert cache.get(query) is not None
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.get(query) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.hits == 1  # pre-invalidation hit survives
+
+    def test_as_dict_serializable(self):
+        import json
+
+        cache = ResultCache(8)
+        cache.get(make_query())
+        json.dumps(cache.stats.as_dict())  # must not raise
+
+
+class TestMicroBatcher:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ServingError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ServingError):
+            MicroBatcher(max_delay_seconds=-0.1)
+        with pytest.raises(ServingError):
+            MicroBatcher(max_queue_depth=0)
+        with pytest.raises(ServingError):
+            MicroBatcher(idle_gap_seconds=0.0)
+
+    def test_flush_on_size_does_not_wait_for_deadline(self):
+        batcher = MicroBatcher(max_batch_size=3, max_delay_seconds=30.0)
+        for item in ("a", "b", "c"):
+            batcher.put(item)
+        start = time.monotonic()
+        assert batcher.take() == ["a", "b", "c"]
+        assert time.monotonic() - start < 1.0  # did not wait the 30s window
+        assert batcher.stats.flushes_on_size == 1
+
+    def test_flush_on_deadline_with_partial_batch(self):
+        batcher = MicroBatcher(max_batch_size=100, max_delay_seconds=0.01)
+        batcher.put("only")
+        assert batcher.take() == ["only"]
+        assert batcher.stats.flushes_on_deadline == 1
+
+    def test_idle_gap_flushes_before_deadline(self):
+        batcher = MicroBatcher(
+            max_batch_size=100, max_delay_seconds=30.0, idle_gap_seconds=0.005
+        )
+        batcher.put("lonely")
+        start = time.monotonic()
+        assert batcher.take() == ["lonely"]
+        assert time.monotonic() - start < 1.0  # did not wait the 30s window
+        assert batcher.stats.flushes_on_idle == 1
+        assert batcher.stats.flushes_on_deadline == 0
+
+    def test_idle_gap_keeps_collecting_while_arrivals_continue(self):
+        batcher = MicroBatcher(
+            max_batch_size=3, max_delay_seconds=30.0, idle_gap_seconds=0.2
+        )
+
+        def trickle():
+            time.sleep(0.02)
+            batcher.put("b")
+            time.sleep(0.02)
+            batcher.put("c")
+
+        batcher.put("a")
+        thread = threading.Thread(target=trickle)
+        thread.start()
+        assert batcher.take() == ["a", "b", "c"]  # gap never elapsed dry
+        thread.join()
+        assert batcher.stats.flushes_on_size == 1
+
+    def test_overload_rejection_is_typed(self):
+        batcher = MicroBatcher(max_batch_size=4, max_queue_depth=2)
+        batcher.put("a")
+        batcher.put("b")
+        with pytest.raises(ServerOverloadedError):
+            batcher.put("c")
+        assert batcher.stats.items_rejected == 1
+        assert batcher.stats.items_admitted == 2
+
+    def test_close_drains_then_returns_none(self):
+        batcher = MicroBatcher(max_batch_size=2, max_delay_seconds=30.0)
+        for item in ("a", "b", "c"):
+            batcher.put(item)
+        batcher.close()
+        with pytest.raises(ServerClosedError):
+            batcher.put("d")
+        assert batcher.take() == ["a", "b"]
+        assert batcher.take() == ["c"]
+        assert batcher.take() is None
+        assert batcher.closed
+
+    def test_close_unblocks_waiting_taker(self):
+        batcher = MicroBatcher()
+        seen: list = []
+
+        def taker():
+            seen.append(batcher.take())
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        time.sleep(0.05)
+        batcher.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    def test_concurrent_producers_all_admitted(self):
+        batcher = MicroBatcher(max_batch_size=64, max_delay_seconds=0.005)
+        total = 200
+
+        def produce(offset: int):
+            for i in range(total // 8):
+                batcher.put(offset * 1000 + i)
+
+        threads = [threading.Thread(target=produce, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batcher.close()
+        drained: list = []
+        while True:
+            batch = batcher.take()
+            if batch is None:
+                break
+            drained.extend(batch)
+        assert len(drained) == total
+        assert batcher.stats.items_admitted == total
+        assert batcher.stats.largest_batch <= 64
