@@ -10,8 +10,35 @@ The public API re-exported here is what the examples and benchmarks use:
 * Dataset and workload generators standing in for the paper's evaluation data.
 * Serving: :class:`~repro.serve.frontend.ServingFrontend` — the concurrent
   micro-batching front-end with its result cache.
+* Fault tolerance: the typed error hierarchy, the deterministic
+  fault-injection harness (:class:`~repro.common.faults.FaultPlan`), and the
+  resilience primitives (:class:`~repro.common.resilience.FaultPolicy`,
+  :class:`~repro.common.resilience.CircuitBreaker`,
+  :class:`~repro.common.resilience.RetryPolicy`) the sharded fan-out and the
+  serving front-end are guarded by.
 """
 
+from repro.common import (
+    ReproError,
+    SchemaError,
+    QueryError,
+    IndexBuildError,
+    OptimizationError,
+    ServingError,
+    ServerOverloadedError,
+    ServerClosedError,
+    QueryTimeoutError,
+    ShardTimeoutError,
+    CircuitOpenError,
+    PartialResultError,
+    DispatcherCrashedError,
+    InjectedFault,
+    FaultPlan,
+    FaultSpec,
+    CircuitBreaker,
+    FaultPolicy,
+    RetryPolicy,
+)
 from repro.storage import (
     Table,
     Column,
@@ -60,9 +87,28 @@ from repro.serve import (
     ServingFrontend,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "IndexBuildError",
+    "OptimizationError",
+    "ServingError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "QueryTimeoutError",
+    "ShardTimeoutError",
+    "CircuitOpenError",
+    "PartialResultError",
+    "DispatcherCrashedError",
+    "InjectedFault",
+    "FaultPlan",
+    "FaultSpec",
+    "CircuitBreaker",
+    "FaultPolicy",
+    "RetryPolicy",
     "Table",
     "Column",
     "save_table",

@@ -2,7 +2,10 @@
 
 The rest of the package depends only on this subpackage and on NumPy/SciPy,
 so anything placed here must stay dependency-free with respect to the other
-``repro`` subpackages.
+``repro`` subpackages.  The fault-tolerance primitives live here for the same
+reason: :mod:`repro.common.faults` (deterministic fault injection) and
+:mod:`repro.common.resilience` (retry policies, circuit breakers) are used by
+the core, storage, and serve layers alike.
 """
 
 from repro.common.errors import (
@@ -11,7 +14,18 @@ from repro.common.errors import (
     QueryError,
     IndexBuildError,
     OptimizationError,
+    ServingError,
+    ServerOverloadedError,
+    ServerClosedError,
+    QueryTimeoutError,
+    ShardTimeoutError,
+    CircuitOpenError,
+    PartialResultError,
+    DispatcherCrashedError,
+    InjectedFault,
 )
+from repro.common.faults import FaultPlan, FaultSpec, Injection
+from repro.common.resilience import CircuitBreaker, FaultPolicy, RetryPolicy
 from repro.common.rng import make_rng, spawn_rngs
 from repro.common.validation import (
     ensure_int64_array,
@@ -26,6 +40,21 @@ __all__ = [
     "QueryError",
     "IndexBuildError",
     "OptimizationError",
+    "ServingError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "QueryTimeoutError",
+    "ShardTimeoutError",
+    "CircuitOpenError",
+    "PartialResultError",
+    "DispatcherCrashedError",
+    "InjectedFault",
+    "FaultPlan",
+    "FaultSpec",
+    "Injection",
+    "CircuitBreaker",
+    "FaultPolicy",
+    "RetryPolicy",
     "make_rng",
     "spawn_rngs",
     "ensure_int64_array",

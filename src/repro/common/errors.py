@@ -13,6 +13,21 @@ failures by subsystem:
 * :class:`ServingError` — the concurrent serving front-end could not accept
   or complete a request (with :class:`ServerOverloadedError` for backpressure
   rejections and :class:`ServerClosedError` for requests after shutdown).
+
+The fault-tolerance layer (PR 7) adds the typed failure vocabulary of the
+serving stack: :class:`QueryTimeoutError` (a per-query deadline expired),
+:class:`ShardTimeoutError` (one shard's execution exceeded its budget),
+:class:`CircuitOpenError` (a shard's circuit breaker is refusing work),
+:class:`PartialResultError` (strict-mode fan-out completed only partially —
+the partial aggregates and the failed-shard list ride on the exception),
+:class:`DispatcherCrashedError` (the front-end dispatcher thread died and
+every stranded future was failed with this), and :class:`InjectedFault` (the
+deterministic fault-injection harness in :mod:`repro.common.faults` fired).
+
+Every error that carries structured fields stores them as attributes *and*
+keeps them reconstructible through pickling (``__reduce__`` re-invokes the
+constructor with the original arguments), because serving errors cross
+future/thread boundaries and benchmark subprocess boundaries intact.
 """
 
 from __future__ import annotations
@@ -53,3 +68,138 @@ class ServerOverloadedError(ServingError):
 
 class ServerClosedError(ServingError):
     """The serving front-end has been shut down and accepts no new requests."""
+
+
+class QueryTimeoutError(ServingError):
+    """A per-query deadline expired before the query was served.
+
+    The query may still complete in the background (its batch cannot be
+    recalled), but the caller has been released; a retry may hit the result
+    cache.
+    """
+
+    def __init__(self, message: str, timeout_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.timeout_seconds))
+
+
+class ShardTimeoutError(ServingError):
+    """One shard's execution exceeded its per-shard time budget.
+
+    The worker thread may still be running (Python threads cannot be killed);
+    the fan-out abandons its result and accounts the shard as failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        timeout_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.shard = shard
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.shard, self.timeout_seconds))
+
+
+class CircuitOpenError(ServingError):
+    """A shard's circuit breaker is open: work is refused without execution.
+
+    Raised (or recorded as a shard's skip reason) after ``failure_threshold``
+    consecutive failures, until a half-open probe succeeds after the cooldown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        consecutive_failures: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.shard = shard
+        self.consecutive_failures = consecutive_failures
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.shard, self.consecutive_failures))
+
+
+class PartialResultError(ServingError):
+    """Strict-mode fan-out completed only partially.
+
+    Carries everything a caller needs to decide whether the partial answer is
+    usable: ``partial_results`` (the recombined :class:`QueryResult` list over
+    the shards that *did* answer, in input order), ``failed_shards`` /
+    ``skipped_shards`` (positions that errored vs. were skipped by an open
+    circuit breaker), and ``failure_reasons`` (shard position → ``repr`` of
+    its final error — reprs rather than exception objects so the payload
+    always pickles).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partial_results=(),
+        failed_shards=(),
+        skipped_shards=(),
+        failure_reasons=None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.partial_results = list(partial_results)
+        self.failed_shards = list(failed_shards)
+        self.skipped_shards = list(skipped_shards)
+        self.failure_reasons = dict(failure_reasons or {})
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.message,
+                self.partial_results,
+                self.failed_shards,
+                self.skipped_shards,
+                self.failure_reasons,
+            ),
+        )
+
+
+class DispatcherCrashedError(ServingError):
+    """The front-end dispatcher thread exited abnormally.
+
+    Every pending and queued future is completed with this error instead of
+    being stranded; subsequent submissions are rejected with it until the
+    front-end is closed and replaced.
+    """
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Carries the call site, the fault kind, and the 0-based index of the call
+    that tripped the spec, so chaos tests can assert exactly which injection
+    they observed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str | None = None,
+        kind: str = "error",
+        call_index: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.site = site
+        self.kind = kind
+        self.call_index = call_index
+
+    def __reduce__(self):
+        return (type(self), (self.message, self.site, self.kind, self.call_index))

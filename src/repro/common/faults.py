@@ -1,0 +1,250 @@
+"""Deterministic, seeded fault injection for chaos-testing the serving stack.
+
+A fault-tolerance layer is only trustworthy if its failure paths are *tested*,
+and failure-path tests are only trustworthy if they are reproducible.  This
+module provides both halves:
+
+* **Named call sites.**  Production code marks the places where real systems
+  fail with a one-line :func:`trigger` call — shard execution
+  (``"shard.execute"``), merges (``"delta.merge"``, ``"shard.merge"``),
+  re-optimization (``"lifecycle.reoptimize"``), the result cache
+  (``"cache.get"`` / ``"cache.put"``), persistence (``"persistence.save"``),
+  and the front-end dispatcher (``"frontend.batch"``).  With no plan
+  installed, ``trigger`` is a single global-is-``None`` check — the happy
+  path pays nothing measurable.
+* **A deterministic plan.**  A :class:`FaultPlan` is a list of
+  :class:`FaultSpec` rules plus a seeded RNG.  Each spec matches a site (and
+  optionally a per-call ``key``, e.g. a shard position), skips the first
+  ``after_calls`` matching calls, fires at most ``max_triggers`` times, and
+  draws against ``probability`` from the plan's seeded stream — so a chaos
+  run replays identically given the same seed and call order.  Injected
+  effects are exceptions (:class:`~repro.common.errors.InjectedFault` by
+  default), fixed delays, or *hangs* (a wait that holds until the plan is
+  uninstalled or ``delay_seconds`` elapses, whichever first — long enough to
+  trip any timeout, but tests never leak a sleeping thread past
+  :func:`uninstall`).
+
+Typical test shape::
+
+    plan = FaultPlan([
+        FaultSpec(site="shard.execute", key=2, kind="error", max_triggers=3),
+    ], seed=7)
+    with active(plan):
+        ... exercise the index ...
+    assert [i.site for i in plan.injections] == ["shard.execute"] * 3
+
+Exactly one plan is active at a time, process-wide: the serving stack spans
+threads (shard workers, the dispatcher), so a thread-local plan would miss
+the very call sites chaos tests care about.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from random import Random
+from typing import Callable, Iterator, Sequence
+
+from repro.common.errors import InjectedFault, ReproError
+
+#: Fault kinds a spec may inject.
+KINDS = ("error", "delay", "hang")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule of a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    site:
+        Call-site name to match; ``fnmatch``-style wildcards are allowed
+        (``"shard.*"`` matches every shard-layer site).
+    kind:
+        ``"error"`` raises (``error_factory()`` or :class:`InjectedFault`),
+        ``"delay"`` sleeps ``delay_seconds``, ``"hang"`` blocks until the
+        plan is uninstalled or ``delay_seconds`` elapses.
+    probability:
+        Chance this spec fires on a matching call, drawn from the plan's
+        seeded RNG; ``1.0`` fires on every matching call (fully
+        deterministic regardless of thread arrival order).
+    delay_seconds:
+        Sleep length for ``"delay"``, and the hang cap for ``"hang"``.
+    error_factory:
+        Zero-argument callable building the exception ``"error"`` raises;
+        ``None`` raises :class:`InjectedFault` with the site and call index.
+    key:
+        When set, only calls triggering with this exact key match (e.g. one
+        shard position); ``None`` matches every key.
+    after_calls:
+        Skip this many matching calls before the spec becomes eligible.
+    max_triggers:
+        Stop firing after this many injections; ``None`` never stops.
+    """
+
+    site: str
+    kind: str = "error"
+    probability: float = 1.0
+    delay_seconds: float = 30.0
+    error_factory: Callable[[], BaseException] | None = None
+    key: object | None = None
+    after_calls: int = 0
+    max_triggers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_seconds < 0:
+            raise ReproError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if self.after_calls < 0:
+            raise ReproError(f"after_calls must be >= 0, got {self.after_calls}")
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ReproError(f"max_triggers must be >= 1, got {self.max_triggers}")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault actually injected (the plan's replayable history)."""
+
+    site: str
+    key: object
+    kind: str
+    call_index: int
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-spec bookkeeping (matching-call and trigger counters)."""
+
+    calls: int = 0
+    triggers: int = 0
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of faults over named call sites.
+
+    Decisions (counter updates and probability draws) happen under one lock
+    in call order, so a single-threaded chaos run replays exactly; concurrent
+    runs replay in aggregate (same seed → same draw sequence).  Effects (the
+    sleep, the hang, the raise) happen outside the lock so an injected stall
+    never serializes unrelated call sites through the plan.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+        self._specs = list(specs)
+        self._states = [_SpecState() for _ in self._specs]
+        self._rng = Random(seed)
+        self._lock = threading.Lock()
+        self._release = threading.Event()
+        self._injections: list[Injection] = []
+
+    @property
+    def injections(self) -> list[Injection]:
+        """Every fault injected so far, in decision order."""
+        with self._lock:
+            return list(self._injections)
+
+    def injected(self, site: str) -> int:
+        """How many faults have been injected at ``site`` (exact name)."""
+        with self._lock:
+            return sum(1 for injection in self._injections if injection.site == site)
+
+    def release_hangs(self) -> None:
+        """Unblock every in-flight ``"hang"`` fault (also done by uninstall)."""
+        self._release.set()
+
+    def fire(self, site: str, key: object = None) -> None:
+        """Decide and apply the faults matching one call at ``site``.
+
+        Called by :func:`trigger`; usable directly when a test drives the
+        plan without installing it globally.
+        """
+        effects: list[tuple[FaultSpec, Injection]] = []
+        with self._lock:
+            for spec, state in zip(self._specs, self._states):
+                if not fnmatchcase(site, spec.site):
+                    continue
+                if spec.key is not None and key != spec.key:
+                    continue
+                call_index = state.calls
+                state.calls += 1
+                if call_index < spec.after_calls:
+                    continue
+                if spec.max_triggers is not None and state.triggers >= spec.max_triggers:
+                    continue
+                if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                    continue
+                state.triggers += 1
+                injection = Injection(site=site, key=key, kind=spec.kind, call_index=call_index)
+                self._injections.append(injection)
+                effects.append((spec, injection))
+        for spec, injection in effects:
+            if spec.kind == "delay":
+                time.sleep(spec.delay_seconds)
+            elif spec.kind == "hang":
+                self._release.wait(spec.delay_seconds)
+            else:
+                if spec.error_factory is not None:
+                    raise spec.error_factory()
+                raise InjectedFault(
+                    f"injected fault at {site!r} (call {injection.call_index})",
+                    site=site,
+                    kind=spec.kind,
+                    call_index=injection.call_index,
+                )
+
+
+#: The process-wide active plan; ``None`` keeps every trigger a no-op.
+_active_plan: FaultPlan | None = None
+_install_lock = threading.Lock()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the active plan (replacing any previous one)."""
+    global _active_plan
+    with _install_lock:
+        previous, _active_plan = _active_plan, plan
+    if previous is not None:
+        previous.release_hangs()
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection and release any in-flight hangs."""
+    global _active_plan
+    with _install_lock:
+        previous, _active_plan = _active_plan, None
+    if previous is not None:
+        previous.release_hangs()
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any."""
+    return _active_plan
+
+
+@contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def trigger(site: str, key: object = None) -> None:
+    """Fault point: a no-op unless a plan is installed and matches this call.
+
+    Production call sites invoke this with a stable ``site`` name (and a
+    ``key`` where one call site serves many targets, e.g. the shard
+    position); the active plan decides whether to raise, delay, or hang.
+    """
+    plan = _active_plan
+    if plan is not None:
+        plan.fire(site, key)

@@ -1,0 +1,225 @@
+"""Resilience primitives: retry policies and per-shard circuit breakers.
+
+The scale-out fan-out (:class:`~repro.core.sharding.ShardedIndex`) needs
+three defenses a single-process library normally skips:
+
+* **Timeouts** bound how long one shard may stall a batch (configured in
+  :class:`FaultPolicy`, enforced by the fan-out's worker pool).
+* **Retries** absorb transient failures.  :class:`RetryPolicy` computes
+  exponential backoff with seeded jitter, so two replicas retrying the same
+  failure do not synchronize into retry storms — and so chaos tests replay
+  the exact same delays.
+* **Circuit breakers** stop sending work to a shard that keeps failing.
+  :class:`CircuitBreaker` is the classic three-state machine: *closed*
+  (normal), *open* after ``failure_threshold`` consecutive failures (every
+  call is refused without execution, which is what keeps one dead shard from
+  consuming every batch's timeout budget), and *half-open* after
+  ``cooldown_seconds`` (exactly one probe is admitted; success closes the
+  breaker, failure re-opens it for another cooldown).
+
+:class:`FaultPolicy` bundles the three plus the degradation mode the fan-out
+applies when shards still fail after all of that: ``"strict"`` raises a typed
+:class:`~repro.common.errors.PartialResultError` carrying the partial
+aggregates, ``"degraded"`` returns the partial aggregates and accounts the
+failures in ``explain``/``describe``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from repro.common.errors import ReproError
+
+#: Degradation modes a fan-out may run under.
+DEGRADATION_MODES = ("strict", "degraded")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    ``max_retries=0`` (the default) disables retries entirely — the fault-free
+    fast path stays untouched.  The delay before retry ``attempt`` (0-based)
+    is ``backoff_seconds * multiplier**attempt``, capped at
+    ``max_backoff_seconds``, then jittered by a seeded uniform draw in
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_retries: int = 0
+    backoff_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 0.5
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ReproError(f"backoff_seconds must be >= 0, got {self.backoff_seconds}")
+        if self.multiplier < 1.0:
+            raise ReproError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_backoff_seconds < 0:
+            raise ReproError(
+                f"max_backoff_seconds must be >= 0, got {self.max_backoff_seconds}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_seconds(self, attempt: int, rng: Random) -> float:
+        """The backoff before retry ``attempt`` (0-based), jittered via ``rng``."""
+        base = min(self.backoff_seconds * self.multiplier**attempt, self.max_backoff_seconds)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) failure gate for one target.
+
+    Thread-safe; time is read through an injectable ``clock`` so tests can
+    step it deterministically instead of sleeping through cooldowns.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_seconds < 0:
+            raise ReproError(f"cooldown_seconds must be >= 0, got {cooldown_seconds}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._opens = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (open shows as open
+        until :meth:`allow` actually admits the half-open probe)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def opens(self) -> int:
+        """How many times the breaker has transitioned closed/half-open → open."""
+        with self._lock:
+            return self._opens
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now.
+
+        Closed: always.  Open: only once the cooldown has elapsed, which
+        admits a single half-open probe; further calls are refused until the
+        probe reports.  Half-open: refused (the probe is in flight).
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown_seconds:
+                    self._state = "half_open"
+                    return True
+                return False
+            return False  # half_open: probe already admitted
+
+    def record_success(self) -> None:
+        """A call succeeded: close the breaker and reset the failure run."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A call failed: re-open a half-open breaker, or count toward opening."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != "open":
+                    self._opens += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+
+    def as_dict(self) -> dict:
+        """JSON-serializable state for ``explain``/``describe`` reports."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "opens": self._opens,
+            }
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a fan-out behaves when a shard misbehaves.
+
+    The default policy is inert on the happy path: no timeout, no retries, a
+    breaker that never trips without failures, and ``"strict"`` degradation —
+    so a fault-free run is bit-identical to a fan-out without the policy.
+
+    Parameters
+    ----------
+    shard_timeout_seconds:
+        Per-shard execution budget, measured from fan-out start (shards run
+        concurrently under the budget); ``None`` never times out.  A timed-out
+        worker thread cannot be killed — its result is abandoned and the
+        shard accounted as failed.
+    retry:
+        Transient-failure retry schedule (see :class:`RetryPolicy`).
+    breaker_failure_threshold / breaker_cooldown_seconds:
+        Per-shard :class:`CircuitBreaker` tuning.
+    degradation:
+        ``"strict"`` raises :class:`~repro.common.errors.PartialResultError`
+        when any non-pruned shard fails or is skipped by an open breaker;
+        ``"degraded"`` returns the partial aggregates and accounts the
+        failure in ``explain``/``describe``.
+    """
+
+    shard_timeout_seconds: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_seconds: float = 1.0
+    degradation: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_seconds is not None and self.shard_timeout_seconds <= 0:
+            raise ReproError(
+                f"shard_timeout_seconds must be > 0 or None, got "
+                f"{self.shard_timeout_seconds}"
+            )
+        if self.degradation not in DEGRADATION_MODES:
+            raise ReproError(
+                f"degradation must be one of {DEGRADATION_MODES}, got "
+                f"{self.degradation!r}"
+            )
+        # Breaker bounds are validated by CircuitBreaker at construction.
+
+    def build_breaker(self, clock: Callable[[], float] = time.monotonic) -> CircuitBreaker:
+        """A fresh :class:`CircuitBreaker` configured by this policy."""
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            cooldown_seconds=self.breaker_cooldown_seconds,
+            clock=clock,
+        )

@@ -49,6 +49,7 @@ from repro.baselines.base import (
     expand_deduped_results,
     serve_workload,
 )
+from repro.common import faults
 from repro.common.errors import IndexBuildError, QueryError, SchemaError
 from repro.query.query import Query
 from repro.query.workload import Workload
@@ -412,6 +413,7 @@ class DeltaBufferedIndex:
         pending = self.num_pending
         if pending == 0:
             return None
+        faults.trigger("delta.merge")
         old_table = index.table
         start = time.perf_counter()
         columns = []
@@ -427,8 +429,12 @@ class DeltaBufferedIndex:
                 )
             )
         merged_table = Table(old_table.name, columns)
-        self._index = self._index_factory()
-        self._index.build(merged_table, self._workload)
+        # Build the replacement fully before installing it: a rebuild that
+        # fails (or is fault-injected) must leave the index serving the old
+        # table with the buffer intact, not half-replaced.
+        rebuilt = self._index_factory()
+        rebuilt.build(merged_table, self._workload)
+        self._index = rebuilt
         self._buffer = DeltaBuffer(merged_table.column_names)
         report = MergeReport(
             rows_merged=pending,

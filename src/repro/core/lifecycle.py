@@ -26,6 +26,12 @@ plus an ordered :class:`LifecycleEvent` log) that the benchmarks serialize via
 registered via :meth:`LifecycleManager.subscribe` — that is how the serving
 front-end's result cache learns that a merge or reoptimization it did not
 initiate (buffer pressure, drift) made its entries stale.
+
+Maintenance degrades gracefully: a merge or re-optimization that fails (for
+real, or through an injected fault at the ``delta.merge`` /
+``lifecycle.reoptimize`` sites) is recorded as a ``maintenance_error`` event
+and serving continues on the current layout — the failed action retries the
+next time its trigger fires.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.baselines.base import QueryResult
+from repro.common import faults
 from repro.common.errors import IndexBuildError
 from repro.core.delta import DeltaBufferedIndex
 from repro.core.drift import WorkloadDriftDetector
@@ -81,7 +88,7 @@ class LifecycleConfig:
 class LifecycleEvent:
     """One maintenance action (or detection) taken by the loop."""
 
-    kind: str  # "drift" | "merge" | "reoptimize"
+    kind: str  # "drift" | "merge" | "reoptimize" | "maintenance_error"
     at_query: int  # queries served when the event fired
     seconds: float
     details: dict
@@ -100,6 +107,7 @@ class LifecycleReport:
     rows_merged: int = 0
     reoptimizations: int = 0
     regions_reoptimized: int = 0
+    maintenance_failures: int = 0
     maintenance_seconds: float = 0.0
     events: list[LifecycleEvent] = field(default_factory=list)
 
@@ -115,6 +123,7 @@ class LifecycleReport:
             "rows_merged": self.rows_merged,
             "reoptimizations": self.reoptimizations,
             "regions_reoptimized": self.regions_reoptimized,
+            "maintenance_failures": self.maintenance_failures,
             "maintenance_seconds": round(self.maintenance_seconds, 6),
             "events": [
                 {
@@ -219,12 +228,36 @@ class LifecycleManager:
         if self.index.num_pending / main_rows >= pressure:
             self._merge(trigger="pressure")
 
-    def _merge(self, trigger: str) -> None:
+    def _maintenance_failed(
+        self, operation: str, trigger: str, error: BaseException, seconds: float
+    ) -> None:
+        """Record a failed maintenance action and keep serving.
+
+        Maintenance (merge, reoptimize) is an optimization, not a
+        correctness requirement: the delta buffer keeps absorbing inserts and
+        the current layout keeps answering queries, so a failed action is
+        recorded as a ``maintenance_error`` event (listeners see it too) and
+        retried naturally the next time its trigger fires.
+        """
+        self._report.maintenance_failures += 1
+        self._report.maintenance_seconds += seconds
+        self._record(
+            "maintenance_error",
+            seconds,
+            {"operation": operation, "trigger": trigger, "error": repr(error)},
+        )
+
+    def _merge(self, trigger: str) -> bool:
+        """Merge pending inserts; ``False`` only when the merge *failed*."""
         start = time.perf_counter()
-        report = self.index.merge()
+        try:
+            report = self.index.merge()
+        except Exception as exc:
+            self._maintenance_failed("merge", trigger, exc, time.perf_counter() - start)
+            return False
         seconds = time.perf_counter() - start
         if report is None:
-            return
+            return True
         self._report.merges += 1
         self._report.rows_merged += report.rows_merged
         self._report.maintenance_seconds += seconds
@@ -246,6 +279,7 @@ class LifecycleManager:
             workload = getattr(base, "typed_workload", None) or self.index.workload
             if workload is not None and len(workload) > 0:
                 self._detector = self._detector.refit(workload, base.table)
+        return True
 
     def _observe(self, queries: Sequence[Query]) -> None:
         if self._detector is None:
@@ -269,14 +303,24 @@ class LifecycleManager:
         base = self.index.base_index
         if not isinstance(base, TsunamiIndex):
             return
-        # Fold pending inserts in first so the repaired layout covers them.
-        self._merge(trigger="drift")
+        # Fold pending inserts in first so the repaired layout covers them; a
+        # failed merge skips this window's re-optimization (the layout would
+        # not cover the still-pending rows) and serving carries on.
+        if not self._merge(trigger="drift"):
+            return
         base = self.index.base_index  # the merge may have rebuilt it
         if not isinstance(base, TsunamiIndex):
             return
         observed = Workload(window, name="observed")
         start = time.perf_counter()
-        report = self._reoptimizer_factory(base).reoptimize(observed)
+        try:
+            faults.trigger("lifecycle.reoptimize")
+            report = self._reoptimizer_factory(base).reoptimize(observed)
+        except Exception as exc:
+            self._maintenance_failed(
+                "reoptimize", "drift", exc, time.perf_counter() - start
+            )
+            return
         seconds = time.perf_counter() - start
         self._report.reoptimizations += 1
         self._report.regions_reoptimized += len(report.regions_reoptimized)

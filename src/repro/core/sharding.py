@@ -26,6 +26,21 @@ implements that layer on top of the existing serving contract:
   :func:`~repro.baselines.base.combine_partial_results`.  Results are
   bit-identical to single-index execution, in input order: partial sums are
   exact integer sums in float64 and are accumulated in shard order.
+* **Fault isolation.**  Each shard call runs behind a
+  :class:`~repro.common.resilience.FaultPolicy`: an optional per-shard
+  execution timeout (enforced on the worker pool, so a hung shard cannot
+  stall the batch), bounded retry with exponential backoff and seeded jitter
+  for transient failures, and a per-shard
+  :class:`~repro.common.resilience.CircuitBreaker` that stops sending work to
+  a shard that keeps failing (open after N consecutive failures, half-open
+  probe after a cooldown; state is visible in :meth:`ShardedIndex.explain`).
+  When shards still fail after all of that, the policy's degradation mode
+  decides: ``"strict"`` (the default) raises a typed
+  :class:`~repro.common.errors.PartialResultError` carrying the partial
+  aggregates and the failed-shard list; ``"degraded"`` returns the partial
+  aggregates and accounts the failure in ``explain``/``describe``.  With no
+  faults, the guarded path executes the exact same shard calls in the exact
+  same order, so fault-free runs stay bit-identical.
 
 The wrapper implements the full serving contract — ``is_built`` / ``table`` /
 ``execute`` / ``execute_batch`` / ``execute_workload`` / ``explain`` /
@@ -37,7 +52,12 @@ each row to its owning shard by the same partition rule.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from random import Random
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -51,7 +71,15 @@ from repro.baselines.base import (
     expand_deduped_results,
     serve_workload,
 )
-from repro.common.errors import IndexBuildError, SchemaError
+from repro.common import faults
+from repro.common.errors import (
+    CircuitOpenError,
+    IndexBuildError,
+    PartialResultError,
+    SchemaError,
+    ShardTimeoutError,
+)
+from repro.common.resilience import CircuitBreaker, FaultPolicy
 from repro.query.query import Query
 from repro.query.workload import Workload
 from repro.storage.column import Column
@@ -118,6 +146,36 @@ def scaled_tsunami_config(num_shards: int, config=None):
     return replace(base, grid_tree=tree)
 
 
+@dataclass
+class FanOutStats:
+    """Cumulative fault accounting for one :class:`ShardedIndex`."""
+
+    shard_failures: int = 0
+    shard_timeouts: int = 0
+    shard_retries: int = 0
+    shards_skipped_open: int = 0
+    partial_serves: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary for ``describe`` and benchmark reports."""
+        return {
+            "shard_failures": self.shard_failures,
+            "shard_timeouts": self.shard_timeouts,
+            "shard_retries": self.shard_retries,
+            "shards_skipped_open": self.shards_skipped_open,
+            "partial_serves": self.partial_serves,
+        }
+
+
+@dataclass
+class _ShardOutcome:
+    """What one shard's guarded call produced: results, or a reason it didn't."""
+
+    results: list | None = None
+    error: BaseException | None = None
+    skipped_open: bool = False
+
+
 class ShardedIndex:
     """N independently optimized index partitions behind one serving contract.
 
@@ -136,7 +194,13 @@ class ShardedIndex:
         workload filters most often (falling back to the first column).
     parallelism:
         Maximum worker threads fanning ``execute_batch`` out across shards;
-        ``0`` or ``1`` executes shards serially on the calling thread.
+        ``0`` or ``1`` executes shards serially on the calling thread (unless
+        a shard timeout forces the pool — see ``fault_policy``).
+    fault_policy:
+        Per-shard timeout / retry / circuit-breaker / degradation behavior
+        (see :class:`~repro.common.resilience.FaultPolicy`).  The default
+        policy is inert on the happy path: no timeout, no retries, strict
+        degradation, and breakers that only trip on real failures.
     """
 
     name = "sharded"
@@ -147,6 +211,7 @@ class ShardedIndex:
         num_shards: int = 4,
         shard_dimension: str | None = None,
         parallelism: int = 0,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if num_shards < 1:
             raise IndexBuildError(f"num_shards must be >= 1, got {num_shards}")
@@ -156,14 +221,26 @@ class ShardedIndex:
         self.num_shards = num_shards
         self.shard_dimension = shard_dimension
         self.parallelism = parallelism
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.fault_stats = FanOutStats()
         self._table: Table | None = None
         self._table_merges = 0
         self._dimension: str | None = None
         self._boundaries: np.ndarray = np.empty(0, dtype=np.int64)
         self._shards: list = []
+        self._breakers: list[CircuitBreaker] = []
+        self._retry_rng = Random(self.fault_policy.retry.seed)
+        # Failure accounting of the most recent execute/execute_batch call
+        # (shard positions that failed / were skipped by an open breaker).
+        self._last_fan_out: dict = {
+            "shards_failed": [],
+            "shards_skipped_open": [],
+            "failure_reasons": {},
+        }
         # position -> (merge count, table box, pending count, widened box)
         self._box_cache: dict[int, tuple] = {}
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     # -- build ----------------------------------------------------------------------
 
@@ -215,6 +292,7 @@ class ShardedIndex:
         self._dimension = dimension
         self._boundaries = np.asarray(cuts, dtype=np.int64)
         self._shards = shards
+        self._breakers = [self.fault_policy.build_breaker() for _ in shards]
         self._box_cache = {}
         return self
 
@@ -239,6 +317,7 @@ class ShardedIndex:
         index._dimension = dimension
         index._boundaries = np.asarray(boundaries, dtype=np.int64)
         index._table = _concat_shard_tables(index._shards, table_name)
+        index._breakers = [index.fault_policy.build_breaker() for _ in index._shards]
         index._box_cache = {}
         return index
 
@@ -404,7 +483,11 @@ class ShardedIndex:
         """
         self._require_built()
         self._require_updatable()
-        return [shard.merge() for shard in self._shards]
+        reports = []
+        for position, shard in enumerate(self._shards):
+            faults.trigger("shard.merge", key=position)
+            reports.append(shard.merge())
+        return reports
 
     # -- queries ----------------------------------------------------------------------
 
@@ -414,34 +497,209 @@ class ShardedIndex:
             value=result.value, matched=result.stats.rows_matched, stats=result.stats
         )
 
-    def _map_over_shards(self, function, tasks: list) -> list:
-        """Apply ``function`` to every task, threaded when configured.
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The fan-out worker pool, created lazily and reused across batches.
+
+        Spawning threads per batch would dominate small batches; numpy
+        gathers and filter masks release the GIL, so shard batches overlap on
+        multi-core hosts.  When a shard timeout is configured the pool is
+        sized to run every shard concurrently (capped), so one hung shard
+        cannot queue-block the others into spurious timeouts.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                workers = max(self.parallelism, 1)
+                if self.fault_policy.shard_timeout_seconds is not None:
+                    workers = max(workers, len(self._shards))
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(workers, 32), thread_name_prefix="shard"
+                )
+            return self._pool
+
+    def _use_pool(self, num_tasks: int) -> bool:
+        if self.fault_policy.shard_timeout_seconds is not None:
+            return True
+        return self.parallelism > 1 and num_tasks > 1
+
+    def _execute_wave(
+        self, tasks: list, run_task
+    ) -> tuple[list[tuple[int, list]], list[tuple[int, BaseException]]]:
+        """Run one attempt over ``tasks``; returns (successes, failures).
 
         Each task touches exactly one shard, so shard-local mutable state
-        (plan caches, scan stats) is never shared across workers.  The worker
-        pool is created lazily on the first threaded batch and reused across
-        batches (spawning threads per batch would dominate small batches);
-        numpy gathers and filter masks release the GIL, so shard batches
-        overlap on multi-core hosts.
+        (plan caches, scan stats) is never shared across workers.  With a
+        shard timeout configured, tasks run on the pool and each must finish
+        within ``shard_timeout_seconds`` of the wave start (they run
+        concurrently under that shared deadline); a worker that overruns is
+        abandoned — Python threads cannot be killed — and its shard accounted
+        as timed out.
         """
-        if self.parallelism > 1 and len(tasks) > 1:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.parallelism, thread_name_prefix="shard"
+        timeout = self.fault_policy.shard_timeout_seconds
+        successes: list[tuple[int, list]] = []
+        failures: list[tuple[int, BaseException]] = []
+        if self._use_pool(len(tasks)):
+            pool = self._ensure_pool()
+            futures = [(task[0], pool.submit(run_task, task)) for task in tasks]
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for position, future in futures:
+                remaining = (
+                    None if deadline is None else max(deadline - time.monotonic(), 0.0)
                 )
-            return list(self._pool.map(function, tasks))
-        return [function(task) for task in tasks]
+                try:
+                    successes.append((position, future.result(remaining)))
+                except FutureTimeoutError:
+                    future.cancel()  # drop it if still queued; running ones finish ignored
+                    self.fault_stats.shard_timeouts += 1
+                    failures.append(
+                        (
+                            position,
+                            ShardTimeoutError(
+                                f"shard {position} exceeded its execution budget "
+                                f"of {timeout}s",
+                                shard=position,
+                                timeout_seconds=timeout,
+                            ),
+                        )
+                    )
+                except Exception as exc:
+                    failures.append((position, exc))
+        else:
+            for task in tasks:
+                try:
+                    successes.append((task[0], run_task(task)))
+                except Exception as exc:
+                    failures.append((task[0], exc))
+        return successes, failures
+
+    def _run_guarded(self, tasks: list, run_task) -> dict[int, _ShardOutcome]:
+        """Run per-shard tasks behind breakers, retries, and timeouts.
+
+        ``tasks`` hold one entry per shard position (position first).  Shards
+        whose breaker refuses work are skipped without execution; the rest
+        run in retry waves — transient failures are retried up to
+        ``retry.max_retries`` times with jittered exponential backoff between
+        waves.  Breakers record one success or one final failure per task
+        (attempts are not individually counted, so one flaky call survived by
+        a retry does not creep a breaker toward open).
+        """
+        policy = self.fault_policy
+        outcomes: dict[int, _ShardOutcome] = {}
+        task_by_position: dict[int, object] = {}
+        pending: list = []
+        for task in tasks:
+            position = task[0]
+            breaker = self._breakers[position]
+            if breaker.allow():
+                task_by_position[position] = task
+                pending.append(task)
+            else:
+                self.fault_stats.shards_skipped_open += 1
+                outcomes[position] = _ShardOutcome(
+                    error=CircuitOpenError(
+                        f"shard {position} circuit breaker is open "
+                        f"({breaker.consecutive_failures} consecutive failures)",
+                        shard=position,
+                        consecutive_failures=breaker.consecutive_failures,
+                    ),
+                    skipped_open=True,
+                )
+        attempt = 0
+        while pending:
+            successes, failures = self._execute_wave(pending, run_task)
+            for position, results in successes:
+                self._breakers[position].record_success()
+                outcomes[position] = _ShardOutcome(results=results)
+            if not failures:
+                break
+            if attempt >= policy.retry.max_retries:
+                for position, error in failures:
+                    self._breakers[position].record_failure()
+                    self.fault_stats.shard_failures += 1
+                    outcomes[position] = _ShardOutcome(error=error)
+                break
+            self.fault_stats.shard_retries += len(failures)
+            delay = policy.retry.delay_seconds(attempt, self._retry_rng)
+            if delay > 0:
+                time.sleep(delay)
+            pending = [task_by_position[position] for position, _ in failures]
+            attempt += 1
+        return outcomes
+
+    def _fan_out(
+        self, distinct: Sequence[Query]
+    ) -> tuple[list[list[PartialAggregate]], dict]:
+        """Serve the distinct templates across shards; partials plus accounting.
+
+        Partials are accumulated in shard-position order regardless of which
+        worker finished first, so fault-free recombination is bit-identical
+        to serial execution.
+        """
+        tasks: list[tuple[int, list[int]]] = []
+        for position in range(len(self._shards)):
+            box = self._shard_box(position)
+            hit = [i for i, query in enumerate(distinct) if query.intersects_box(box)]
+            if hit:
+                tasks.append((position, hit))
+
+        def run_shard(task: tuple[int, list[int]]) -> list[QueryResult]:
+            position, hit = task
+            faults.trigger("shard.execute", key=position)
+            return self._shards[position].execute_batch(
+                [avg_as_sum(distinct[i]) for i in hit]
+            )
+
+        outcomes = self._run_guarded(tasks, run_shard)
+        partials_per_query: list[list[PartialAggregate]] = [[] for _ in distinct]
+        failed: list[int] = []
+        skipped: list[int] = []
+        reasons: dict[int, str] = {}
+        for position, hit in tasks:
+            outcome = outcomes[position]
+            if outcome.error is not None:
+                (skipped if outcome.skipped_open else failed).append(position)
+                reasons[position] = repr(outcome.error)
+                continue
+            for i, result in zip(hit, outcome.results):
+                partials_per_query[i].append(self._partial(result))
+        report = {
+            "shards_failed": failed,
+            "shards_skipped_open": skipped,
+            "failure_reasons": reasons,
+        }
+        self._last_fan_out = report
+        if failed or skipped:
+            self.fault_stats.partial_serves += 1
+        return partials_per_query, report
+
+    def _finish_fan_out(self, results: list[QueryResult], report: dict):
+        """Apply the degradation policy to one fan-out's combined results."""
+        if not (report["shards_failed"] or report["shards_skipped_open"]):
+            return results
+        if self.fault_policy.degradation == "degraded":
+            return results
+        raise PartialResultError(
+            f"{len(report['shards_failed'])} shard(s) failed and "
+            f"{len(report['shards_skipped_open'])} were skipped by open circuit "
+            "breakers; partial aggregates attached",
+            partial_results=results,
+            failed_shards=report["shards_failed"],
+            skipped_shards=report["shards_skipped_open"],
+            failure_reasons=report["failure_reasons"],
+        )
 
     def close(self) -> None:
         """Shut down the fan-out worker pool (idempotent).
 
         Long-running servers would otherwise leak the persistent pool's
-        threads on every index they retire.  The index remains usable after
-        closing: the next threaded batch lazily recreates the pool.  The
-        serving front-end's shutdown path calls this through
-        :meth:`~repro.query.engine.QueryEngine.close`.
+        threads on every index they retire.  Safe to call while a batch is in
+        flight (the shutdown waits for in-flight shard tasks, and the fan-out
+        holds its own pool reference), and safe to call repeatedly.  The
+        index remains usable after closing: the next threaded batch lazily
+        recreates the pool.  The serving front-end's shutdown path calls this
+        through :meth:`~repro.query.engine.QueryEngine.close`.
         """
-        pool, self._pool = self._pool, None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -452,15 +710,17 @@ class ShardedIndex:
         self.close()
 
     def execute(self, query: Query) -> QueryResult:
-        """Answer ``query`` over every non-pruned shard and recombine."""
+        """Answer ``query`` over every non-pruned shard and recombine.
+
+        Under the fault policy's ``"strict"`` degradation (the default), a
+        shard failure raises :class:`~repro.common.errors.PartialResultError`
+        with the partial aggregate attached; ``"degraded"`` returns the
+        partial aggregate over the shards that answered.
+        """
         self._require_built()
-        shard_query = avg_as_sum(query)
-        partials = []
-        for position in range(len(self._shards)):
-            if not query.intersects_box(self._shard_box(position)):
-                continue
-            partials.append(self._partial(self._shards[position].execute(shard_query)))
-        return combine_partial_results(query.aggregate, partials)
+        partials_per_query, report = self._fan_out([query])
+        combined = combine_partial_results(query.aggregate, partials_per_query[0])
+        return self._finish_fan_out([combined], report)[0]
 
     def execute_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
         """Answer a batch of queries with per-shard fan-out.
@@ -470,36 +730,21 @@ class ShardedIndex:
         its own batched pipeline (shard batches run concurrently when
         ``parallelism > 1``).  Per-shard partials are recombined in shard
         order, so results are bit-identical to per-query :meth:`execute`, in
-        input order.
+        input order.  Shard failures follow the fault policy's degradation
+        mode, as in :meth:`execute` (strict mode attaches the full batch's
+        partial results to the :class:`PartialResultError`).
         """
         self._require_built()
         queries = list(queries)
         if not queries:
             return []
         distinct, order = dedupe_queries(queries)
-        tasks: list[tuple[int, list[int]]] = []
-        for position in range(len(self._shards)):
-            box = self._shard_box(position)
-            hit = [i for i, query in enumerate(distinct) if query.intersects_box(box)]
-            if hit:
-                tasks.append((position, hit))
-
-        def run_shard(task: tuple[int, list[int]]) -> list[QueryResult]:
-            position, hit = task
-            return self._shards[position].execute_batch(
-                [avg_as_sum(distinct[i]) for i in hit]
-            )
-
-        outcomes = self._map_over_shards(run_shard, tasks)
-        partials_per_query: list[list[PartialAggregate]] = [[] for _ in distinct]
-        for (position, hit), results in zip(tasks, outcomes):
-            for i, result in zip(hit, results):
-                partials_per_query[i].append(self._partial(result))
+        partials_per_query, report = self._fan_out(distinct)
         combined = [
             combine_partial_results(query.aggregate, partials)
             for query, partials in zip(distinct, partials_per_query)
         ]
-        return expand_deduped_results(combined, order)
+        return self._finish_fan_out(expand_deduped_results(combined, order), report)
 
     def execute_workload(self, workload: Workload) -> tuple[list[QueryResult], ScanStats]:
         """Execute every query in ``workload`` and return results plus total work."""
@@ -508,7 +753,14 @@ class ShardedIndex:
     # -- reporting --------------------------------------------------------------------
 
     def explain(self, query: Query) -> dict:
-        """The combined plan for ``query``: per-shard plans plus pruning counters."""
+        """The combined plan for ``query``: per-shard plans plus pruning counters.
+
+        Also reports the fault-isolation state the next execution would see:
+        every shard's circuit-breaker state (open shards would be skipped),
+        and the failure accounting of the most recent execution
+        (``shards_failed`` / ``shards_skipped_open``) — the counters degraded
+        mode uses to report partial answers.
+        """
         self._require_built()
         shard_plans = []
         pruned = 0
@@ -531,6 +783,10 @@ class ShardedIndex:
             "exact_rows": sum(plan.get("exact_rows", 0) for _, plan in shard_plans),
             "table_fraction_scanned": rows_to_scan / max(self.num_rows, 1),
             "shard_plans": {position: plan for position, plan in shard_plans},
+            "degradation": self.fault_policy.degradation,
+            "circuit_breakers": [breaker.state for breaker in self._breakers],
+            "shards_failed": list(self._last_fan_out["shards_failed"]),
+            "shards_skipped_open": list(self._last_fan_out["shards_skipped_open"]),
         }
 
     def index_size_bytes(self) -> int:
@@ -557,6 +813,9 @@ class ShardedIndex:
                 getattr(shard, "num_rows", None) or shard.table.num_rows
                 for shard in self._shards
             ],
+            "degradation": self.fault_policy.degradation,
+            "fault_stats": self.fault_stats.as_dict(),
+            "circuit_breakers": [breaker.as_dict() for breaker in self._breakers],
             "shards": [shard.describe() for shard in self._shards],
         }
 

@@ -217,6 +217,18 @@ class MicroBatcher:
             self.stats.largest_batch = max(self.stats.largest_batch, count)
             return batch
 
+    def drain(self) -> list[object]:
+        """Remove and return every queued item without flush accounting.
+
+        This is crash cleanup, not a batch: when a dispatcher exits
+        abnormally, the front-end drains the queue so every admitted request
+        can be completed exceptionally instead of blocking forever.
+        """
+        with self._cond:
+            items = [item for _, item in self._queue]
+            self._queue.clear()
+            return items
+
     def close(self) -> None:
         """Stop admissions; queued items keep draining through :meth:`take`."""
         with self._cond:

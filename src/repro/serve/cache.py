@@ -31,6 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.baselines.base import QueryResult
+from repro.common import faults
 from repro.query.query import Query
 
 
@@ -85,6 +86,7 @@ class ResultCache:
 
     def get(self, query: Query) -> QueryResult | None:
         """The cached result for ``query`` (an independent copy), or ``None``."""
+        faults.trigger("cache.get")
         with self._lock:
             entry = self._entries.get(query)
             if entry is None:
@@ -96,6 +98,7 @@ class ResultCache:
 
     def put(self, query: Query, result: QueryResult) -> None:
         """Insert ``result`` under ``query``, evicting the LRU entry when full."""
+        faults.trigger("cache.put")
         frozen = QueryResult(value=result.value, stats=result.stats.copy())
         with self._lock:
             self._entries[query] = frozen

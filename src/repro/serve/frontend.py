@@ -23,6 +23,16 @@ for.  :class:`ServingFrontend` is that piece:
   pending requests, :meth:`query` rejects with a typed
   :class:`~repro.common.errors.ServerOverloadedError` instead of queueing
   unboundedly.
+* **Fault tolerance.**  A backend failure fails only the batch that hit it
+  — when the cohort had more than one member, each query is retried solo
+  first, so one poison query cannot take its neighbours down.  Queries that
+  repeatedly fail solo are quarantined (always executed alone) until one
+  solo run succeeds.  Per-query deadlines raise a typed
+  :class:`~repro.common.errors.QueryTimeoutError`, and if the dispatcher
+  thread ever exits abnormally, every pending and queued request is
+  completed exceptionally with
+  :class:`~repro.common.errors.DispatcherCrashedError` — no client is left
+  blocked on a future that nobody will complete.
 
 The backend is anything with ``run_batch(queries) -> list[QueryResult]``:
 a :class:`~repro.query.engine.QueryEngine` (read-only or wrapping a
@@ -44,7 +54,13 @@ import threading
 from dataclasses import dataclass
 
 from repro.baselines.base import QueryResult
-from repro.common.errors import ServerClosedError, ServingError
+from repro.common import faults
+from repro.common.errors import (
+    DispatcherCrashedError,
+    QueryTimeoutError,
+    ServerClosedError,
+    ServingError,
+)
 from repro.query.query import Query
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResultCache
@@ -73,6 +89,15 @@ class ServingConfig:
     close_backend:
         Whether :meth:`ServingFrontend.close` also closes the backend (which
         in turn shuts down e.g. a sharded index's thread pool).
+    default_timeout_seconds:
+        Deadline applied to :meth:`ServingFrontend.query` calls that pass no
+        explicit ``timeout``; expiry raises
+        :class:`~repro.common.errors.QueryTimeoutError`.  ``None`` waits
+        forever.
+    quarantine_after:
+        Quarantine a query after this many *solo* failures: it is then always
+        executed alone (never sharing a cohort it could poison) until one
+        solo execution succeeds.
     """
 
     max_batch_size: int = 256
@@ -81,11 +106,25 @@ class ServingConfig:
     max_queue_depth: int = 2048
     cache_entries: int = 4096
     close_backend: bool = True
+    default_timeout_seconds: float | None = None
+    quarantine_after: int = 2
 
     def __post_init__(self) -> None:
         if self.cache_entries < 0:
             raise ServingError(
                 f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds <= 0
+        ):
+            raise ServingError(
+                "default_timeout_seconds must be > 0 or None, "
+                f"got {self.default_timeout_seconds}"
+            )
+        if self.quarantine_after < 1:
+            raise ServingError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
             )
         # Window/queue bounds are validated by MicroBatcher at construction.
 
@@ -101,6 +140,11 @@ class ServingStats:
     write_batches: int = 0
     rows_inserted: int = 0
     invalidations: int = 0
+    batch_failures: int = 0
+    solo_retries: int = 0
+    query_failures: int = 0
+    quarantined: int = 0
+    dispatcher_crashes: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable summary for benchmark reports."""
@@ -112,6 +156,11 @@ class ServingStats:
             "write_batches": self.write_batches,
             "rows_inserted": self.rows_inserted,
             "invalidations": self.invalidations,
+            "batch_failures": self.batch_failures,
+            "solo_retries": self.solo_retries,
+            "query_failures": self.query_failures,
+            "quarantined": self.quarantined,
+            "dispatcher_crashes": self.dispatcher_crashes,
         }
 
 
@@ -168,6 +217,12 @@ class ServingFrontend:
         self._state_lock = threading.Lock()
         self._version = 0
         self._closed = False
+        self._crashed = False
+        # Poison-query tracking: solo failure counts and the quarantine set
+        # (queries in it never share a cohort).  Touched only by the
+        # dispatcher thread, read by `quarantine` for observability.
+        self._solo_failures: dict[Query, int] = {}
+        self._quarantine: set[Query] = set()
         self._subscribed = False
         if hasattr(backend, "subscribe"):
             backend.subscribe(self._on_lifecycle_event)
@@ -185,9 +240,15 @@ class ServingFrontend:
         Safe to call from any number of threads.  Raises
         :class:`~repro.common.errors.ServerOverloadedError` when the
         admission queue is full, :class:`ServerClosedError` after
-        :meth:`close`, and :class:`ServingError` on ``timeout`` (seconds).
+        :meth:`close`, :class:`~repro.common.errors.DispatcherCrashedError`
+        after an abnormal dispatcher exit, and
+        :class:`~repro.common.errors.QueryTimeoutError` when the deadline
+        (``timeout`` seconds, defaulting to
+        ``config.default_timeout_seconds``) expires first.
         """
         self._require_open()
+        if timeout is None:
+            timeout = self.config.default_timeout_seconds
         self.stats.queries_submitted += 1
         if self._cache is not None:
             cached = self._cache.get(query)
@@ -201,8 +262,9 @@ class ServingFrontend:
             self.stats.rejections += 1
             raise
         if not pending.done.wait(timeout):
-            raise ServingError(
-                f"query was not served within {timeout} seconds"
+            raise QueryTimeoutError(
+                f"query was not served within {timeout} seconds",
+                timeout_seconds=timeout,
             )
         if pending.error is not None:
             raise pending.error
@@ -255,6 +317,11 @@ class ServingFrontend:
         """The admission queue (live object; its stats feed the benchmarks)."""
         return self._batcher
 
+    @property
+    def quarantine(self) -> frozenset[Query]:
+        """Queries currently quarantined (executed solo, never in a cohort)."""
+        return frozenset(self._quarantine)
+
     def describe(self) -> dict:
         """Operational statistics: serving, batching, and cache counters."""
         return {
@@ -266,36 +333,150 @@ class ServingFrontend:
     # -- dispatcher --------------------------------------------------------------------
 
     def _serve_loop(self) -> None:
-        while True:
-            batch = self._batcher.take()
-            if batch is None:
-                return
-            self._execute(batch)
+        """Dispatcher main loop: take a batch, execute it, repeat.
+
+        Batch-level failures are contained — an exception escaping
+        :meth:`_execute` fails only that batch's still-unfinished futures and
+        the loop continues.  Anything worse (an error taking the batch, a
+        :class:`BaseException`, or an injected ``frontend.dispatcher`` fault)
+        is an abnormal exit: the crash handler closes admissions and
+        completes every pending and queued future exceptionally with
+        :class:`~repro.common.errors.DispatcherCrashedError`, so no client
+        blocks on a future that nobody will ever complete.
+        """
+        batch: list | None = None
+        try:
+            while True:
+                batch = self._batcher.take()
+                if batch is None:
+                    return  # closed and drained: the one normal exit
+                faults.trigger("frontend.dispatcher")
+                try:
+                    self._execute(batch)
+                except Exception as exc:
+                    self.stats.batch_failures += 1
+                    self._fail_batch(batch, exc)
+                batch = None
+        except BaseException as exc:
+            # Deliberately broad and deliberately non-raising: the dispatcher
+            # is a daemon thread, so an escaped exception would strand every
+            # waiting client silently.  Record, fail futures, exit quietly.
+            self._dispatcher_crashed(batch, exc)
 
     def _execute(self, batch: list) -> None:
-        queries = [pending.query for pending in batch]
+        """Execute one batch: quarantined queries solo, the rest as a cohort.
+
+        A cohort failure with more than one member triggers a solo retry of
+        each member (a poison query fails alone; innocent neighbours still
+        get their results).  Futures are completed *before* cache fills, so a
+        cache failure can no longer affect any client of this batch — it
+        surfaces as a contained batch failure in the stats.
+        """
         with self._exec_lock:
             with self._state_lock:
                 version = self._version
-            try:
-                results = self.backend.run_batch(queries)
-            except BaseException as exc:  # propagate to every waiting client
-                for pending in batch:
-                    pending.error = exc
-                    pending.done.set()
-                return
-            # A lifecycle merge/reoptimize during run_batch bumps the version
+            quarantined = [p for p in batch if p.query in self._quarantine]
+            cohort = [p for p in batch if p.query not in self._quarantine]
+            served: list[tuple[_PendingQuery, QueryResult]] = []
+            if cohort:
+                try:
+                    results = self._run_backend([p.query for p in cohort])
+                except Exception as exc:
+                    self.stats.batch_failures += 1
+                    if len(cohort) > 1:
+                        self._retry_solo(cohort, served)
+                    else:
+                        self._solo_failed(cohort[0], exc)
+                else:
+                    served.extend(zip(cohort, results))
+            for pending in quarantined:
+                self._run_solo(pending, served)
+            # A lifecycle merge/reoptimize during execution bumps the version
             # (listener below); results handed to clients are still correct
             # for their execution, but must not outlive the invalidation in
             # the cache.
             with self._state_lock:
                 cacheable = self._cache is not None and version == self._version
-            for pending, result in zip(batch, results):
-                if cacheable:
-                    self._cache.put(pending.query, result)
+            for pending, result in served:
                 pending.result = result
                 pending.done.set()
-        self.stats.queries_served += len(batch)
+            if cacheable:
+                for pending, result in served:
+                    self._cache.put(pending.query, result)
+        self.stats.queries_served += len(served)
+
+    def _run_backend(self, queries: list[Query]) -> list[QueryResult]:
+        """One backend call, with the ``frontend.batch`` fault-injection site."""
+        faults.trigger("frontend.batch")
+        return self.backend.run_batch(queries)
+
+    def _run_solo(
+        self,
+        pending: _PendingQuery,
+        served: list[tuple[_PendingQuery, QueryResult]],
+    ) -> None:
+        """Execute one query alone, updating its quarantine standing."""
+        try:
+            results = self._run_backend([pending.query])
+        except Exception as exc:
+            self._solo_failed(pending, exc)
+        else:
+            self._solo_failures.pop(pending.query, None)
+            self._quarantine.discard(pending.query)
+            served.append((pending, results[0]))
+
+    def _retry_solo(
+        self,
+        cohort: list[_PendingQuery],
+        served: list[tuple[_PendingQuery, QueryResult]],
+    ) -> None:
+        """Re-run a failed cohort one query at a time to isolate the poison."""
+        for pending in cohort:
+            self.stats.solo_retries += 1
+            self._run_solo(pending, served)
+
+    def _solo_failed(self, pending: _PendingQuery, exc: BaseException) -> None:
+        """Record a solo failure, quarantining the query at the threshold."""
+        count = self._solo_failures.get(pending.query, 0) + 1
+        self._solo_failures[pending.query] = count
+        if (
+            count >= self.config.quarantine_after
+            and pending.query not in self._quarantine
+        ):
+            self._quarantine.add(pending.query)
+            self.stats.quarantined += 1
+        self.stats.query_failures += 1
+        pending.error = exc
+        pending.done.set()
+
+    @staticmethod
+    def _fail_batch(batch: list, exc: BaseException) -> None:
+        """Complete every still-unfinished future in ``batch`` with ``exc``."""
+        for pending in batch:
+            if not pending.done.is_set():
+                pending.error = exc
+                pending.done.set()
+
+    def _dispatcher_crashed(
+        self, batch: list | None, exc: BaseException
+    ) -> None:
+        """Abnormal dispatcher exit: fail every pending and queued future.
+
+        Marks the front-end crashed (subsequent :meth:`query` /
+        :meth:`insert_many` calls raise ``DispatcherCrashedError``), closes
+        admissions, and completes the in-flight batch plus everything still
+        queued, exceptionally.  Clients already waiting unblock with a typed
+        error instead of hanging forever.
+        """
+        self.stats.dispatcher_crashes += 1
+        self._crashed = True
+        self._batcher.close()
+        error = DispatcherCrashedError(
+            f"serving dispatcher crashed: {exc!r}; front-end is unavailable"
+        )
+        if batch is not None:
+            self._fail_batch(batch, error)
+        self._fail_batch(self._batcher.drain(), error)
 
     def _on_lifecycle_event(self, event) -> None:
         if event.kind in ("merge", "reoptimize"):
@@ -304,6 +485,10 @@ class ServingFrontend:
     # -- shutdown ----------------------------------------------------------------------
 
     def _require_open(self) -> None:
+        if self._crashed:
+            raise DispatcherCrashedError(
+                "serving dispatcher crashed; front-end is unavailable"
+            )
         if self._closed:
             raise ServerClosedError("serving front-end is closed")
 

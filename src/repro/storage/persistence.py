@@ -32,6 +32,12 @@ Objects that implement the serving contract but none of these layouts raise
 a typed :class:`~repro.common.errors.IndexBuildError` instead of failing with
 an ``AttributeError`` mid-write.
 
+:func:`save_index` is crash-safe: the whole snapshot tree is staged into a
+temporary sibling directory and swapped into place with directory renames
+only after every file is written, so a crash mid-write (exercised by the
+``persistence.save`` fault-injection site) never corrupts or removes an
+existing snapshot at the destination.
+
 Snapshots are trusted artifacts: like any pickle-based format they must only
 be loaded from directories this process (or an equally trusted one) wrote.
 """
@@ -40,11 +46,13 @@ from __future__ import annotations
 
 import json
 import pickle
+import shutil
 from pathlib import Path
 
 import numpy as np
 
 from repro.baselines.base import ClusteredIndex
+from repro.common import faults
 from repro.common.errors import IndexBuildError, SchemaError
 from repro.storage.column import Column
 from repro.storage.dictionary import DictionaryEncoder
@@ -208,7 +216,7 @@ def _read_manifest(path: Path, filename: str) -> dict:
 def _save_delta_index(index, path: Path) -> Path:
     """Snapshot an updatable index: wrapped index under ``main/`` plus buffer."""
     path.mkdir(parents=True, exist_ok=True)
-    save_index(index.base_index, path / _DELTA_MAIN_DIR)
+    _save_index_into(index.base_index, path / _DELTA_MAIN_DIR)
     buffer = index.buffer
     arrays = {name: np.asarray(buffer.column(name)) for name in buffer.column_names}
     np.savez_compressed(path / _BUFFER_VALUES, **arrays)
@@ -265,7 +273,7 @@ def _save_sharded_index(index, path: Path) -> Path:
     path.mkdir(parents=True, exist_ok=True)
     shards = index.shards
     for position, shard in enumerate(shards):
-        save_index(shard, path / _shard_dirname(position))
+        _save_index_into(shard, path / _shard_dirname(position))
     _save_factory(index._index_factory, path)
     manifest = {
         "format_version": FORMAT_VERSION,
@@ -303,14 +311,13 @@ def _load_sharded_index(path: Path):
     )
 
 
-def save_index(index, directory: str | Path) -> Path:
-    """Snapshot a built index (structure plus its clustered table) to ``directory``.
+def _save_index_into(index, path: Path) -> Path:
+    """Write an index snapshot directly into ``path`` (no staging).
 
-    Plain :class:`ClusteredIndex` instances are pickled next to their table;
-    :class:`~repro.core.delta.DeltaBufferedIndex` and
-    :class:`~repro.core.sharding.ShardedIndex` snapshot structurally (see the
-    module docstring), so pending inserts and per-shard layouts round-trip.
-    Anything else raises :class:`IndexBuildError`.
+    This is the recursive workhorse behind :func:`save_index`: nested
+    snapshots (delta ``main/``, sharded ``shard_NN/``) write straight into
+    their subdirectory because the whole tree lives inside the staging
+    directory the public entry point swaps into place atomically.
     """
     from repro.core.delta import DeltaBufferedIndex
     from repro.core.sharding import ShardedIndex
@@ -322,7 +329,6 @@ def save_index(index, directory: str | Path) -> Path:
         )
     if not index.is_built:
         raise IndexBuildError("only a built index can be saved")
-    path = Path(directory)
     if isinstance(index, DeltaBufferedIndex):
         return _save_delta_index(index, path)
     if isinstance(index, ShardedIndex):
@@ -340,7 +346,46 @@ def save_index(index, directory: str | Path) -> Path:
     finally:
         index._table, index._executor = table, executor
 
+    # Mid-write fault-injection site: fires after the data files but before
+    # the manifest, the worst moment a crash could hit.
+    faults.trigger("persistence.save", key=path.name)
     _write_index_manifest(path, index)
+    return path
+
+
+def save_index(index, directory: str | Path) -> Path:
+    """Snapshot a built index (structure plus its clustered table) to ``directory``.
+
+    Plain :class:`ClusteredIndex` instances are pickled next to their table;
+    :class:`~repro.core.delta.DeltaBufferedIndex` and
+    :class:`~repro.core.sharding.ShardedIndex` snapshot structurally (see the
+    module docstring), so pending inserts and per-shard layouts round-trip.
+    Anything else raises :class:`IndexBuildError`.
+
+    The write is crash-safe: the snapshot is staged into a temporary sibling
+    directory and atomically renamed over ``directory`` only once complete.
+    A crash (or injected ``persistence.save`` fault) mid-write leaves any
+    previous snapshot at ``directory`` untouched and loadable; the orphaned
+    staging directory is cleaned up by the next successful save.
+    """
+    path = Path(directory)
+    staging = path.with_name(path.name + ".saving")
+    if staging.exists():
+        shutil.rmtree(staging)
+    try:
+        _save_index_into(index, staging)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if path.exists():
+        retired = path.with_name(path.name + ".old")
+        if retired.exists():
+            shutil.rmtree(retired)
+        path.rename(retired)
+        staging.rename(path)
+        shutil.rmtree(retired)
+    else:
+        staging.rename(path)
     return path
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.common import faults
 from repro.query.query import Query
 from repro.query.workload import Workload
 from repro.storage.table import Table
@@ -19,6 +20,13 @@ from repro.storage.table import Table
 def rng() -> np.random.Generator:
     """A session-wide deterministic RNG for ad-hoc test data."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Fault injection never leaks across tests, even when one fails mid-plan."""
+    yield
+    faults.uninstall()
 
 
 def _make_correlated_table(num_rows: int, seed: int) -> Table:

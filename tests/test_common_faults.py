@@ -1,0 +1,199 @@
+"""Tests for the deterministic fault-injection harness (repro.common.faults).
+
+The harness is only useful if its behavior is exactly reproducible: the same
+plan over the same call sequence must inject the same faults, and no injected
+hang may outlive its plan.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common import faults
+from repro.common.errors import InjectedFault, ReproError, ServingError
+from repro.common.faults import FaultPlan, FaultSpec, Injection
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultSpec(site="x", kind="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ReproError, match="probability"):
+            FaultSpec(site="x", probability=1.5)
+        with pytest.raises(ReproError, match="probability"):
+            FaultSpec(site="x", probability=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ReproError, match="delay_seconds"):
+            FaultSpec(site="x", delay_seconds=-1.0)
+
+    def test_negative_after_calls_rejected(self):
+        with pytest.raises(ReproError, match="after_calls"):
+            FaultSpec(site="x", after_calls=-1)
+
+    def test_zero_max_triggers_rejected(self):
+        with pytest.raises(ReproError, match="max_triggers"):
+            FaultSpec(site="x", max_triggers=0)
+
+
+class TestTriggerDispatch:
+    def test_trigger_is_noop_without_plan(self):
+        assert faults.active_plan() is None
+        faults.trigger("shard.execute", key=0)  # must not raise
+
+    def test_error_injected_at_matching_site(self):
+        plan = FaultPlan([FaultSpec(site="shard.execute")])
+        with faults.active(plan):
+            with pytest.raises(InjectedFault) as excinfo:
+                faults.trigger("shard.execute", key=3)
+        assert excinfo.value.site == "shard.execute"
+        assert excinfo.value.call_index == 0
+
+    def test_non_matching_site_passes(self):
+        plan = FaultPlan([FaultSpec(site="shard.execute")])
+        with faults.active(plan):
+            faults.trigger("cache.get")
+        assert plan.injections == []
+
+    def test_wildcard_site_matches_layer(self):
+        plan = FaultPlan([FaultSpec(site="shard.*")])
+        with faults.active(plan):
+            with pytest.raises(InjectedFault):
+                faults.trigger("shard.execute")
+            with pytest.raises(InjectedFault):
+                faults.trigger("shard.merge")
+            faults.trigger("cache.put")
+        assert plan.injected("shard.execute") == 1
+        assert plan.injected("shard.merge") == 1
+
+    def test_key_restricts_to_one_target(self):
+        plan = FaultPlan([FaultSpec(site="shard.execute", key=2)])
+        with faults.active(plan):
+            faults.trigger("shard.execute", key=0)
+            faults.trigger("shard.execute", key=1)
+            with pytest.raises(InjectedFault):
+                faults.trigger("shard.execute", key=2)
+
+    def test_after_calls_skips_a_prefix(self):
+        plan = FaultPlan([FaultSpec(site="s", after_calls=2)])
+        with faults.active(plan):
+            faults.trigger("s")
+            faults.trigger("s")
+            with pytest.raises(InjectedFault) as excinfo:
+                faults.trigger("s")
+        assert excinfo.value.call_index == 2
+
+    def test_max_triggers_bounds_injections(self):
+        plan = FaultPlan([FaultSpec(site="s", max_triggers=2)])
+        with faults.active(plan):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faults.trigger("s")
+            faults.trigger("s")  # spec exhausted: passes
+        assert plan.injected("s") == 2
+
+    def test_custom_error_factory(self):
+        plan = FaultPlan(
+            [FaultSpec(site="s", error_factory=lambda: ServingError("boom"))]
+        )
+        with faults.active(plan):
+            with pytest.raises(ServingError, match="boom"):
+                faults.trigger("s")
+
+    def test_injection_history_records_decision_order(self):
+        plan = FaultPlan([FaultSpec(site="s", max_triggers=2)])
+        with faults.active(plan):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faults.trigger("s", key="a")
+        assert plan.injections == [
+            Injection(site="s", key="a", kind="error", call_index=0),
+            Injection(site="s", key="a", kind="error", call_index=1),
+        ]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run(seed: int) -> list[int]:
+        plan = FaultPlan([FaultSpec(site="s", probability=0.4)], seed=seed)
+        fired = []
+        with faults.active(plan):
+            for call in range(50):
+                try:
+                    faults.trigger("s")
+                except InjectedFault:
+                    fired.append(call)
+        return fired
+
+    def test_same_seed_replays_identically(self):
+        assert self._run(seed=7) == self._run(seed=7)
+
+    def test_probability_actually_thins_injections(self):
+        fired = self._run(seed=7)
+        assert 0 < len(fired) < 50
+
+
+class TestDelaysAndHangs:
+    def test_delay_sleeps_then_returns(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="delay", delay_seconds=0.05)])
+        start = time.monotonic()
+        with faults.active(plan):
+            faults.trigger("s")
+        assert time.monotonic() - start >= 0.05
+
+    def test_uninstall_releases_inflight_hang(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="hang", delay_seconds=30.0)])
+        faults.install(plan)
+        released = threading.Event()
+
+        def hang_then_signal():
+            faults.trigger("s")
+            released.set()
+
+        worker = threading.Thread(target=hang_then_signal, daemon=True)
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while plan.injected("s") == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert not released.is_set()
+        faults.uninstall()
+        assert released.wait(5.0), "hang was not released by uninstall"
+        worker.join(5.0)
+
+    def test_hang_caps_at_delay_seconds(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="hang", delay_seconds=0.05)])
+        start = time.monotonic()
+        with faults.active(plan):
+            faults.trigger("s")
+        elapsed = time.monotonic() - start
+        assert 0.05 <= elapsed < 5.0
+
+
+class TestInstallation:
+    def test_active_context_restores_noop(self):
+        plan = FaultPlan([FaultSpec(site="s")])
+        with faults.active(plan) as installed:
+            assert installed is plan
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None
+        faults.trigger("s")  # no plan: no-op again
+
+    def test_install_replaces_and_releases_previous(self):
+        first = FaultPlan([FaultSpec(site="s", kind="hang", delay_seconds=30.0)])
+        second = FaultPlan([])
+        faults.install(first)
+        try:
+            faults.install(second)
+            assert faults.active_plan() is second
+            assert first._release.is_set()
+        finally:
+            faults.uninstall()
+
+    def test_fire_usable_without_installing(self):
+        plan = FaultPlan([FaultSpec(site="s")])
+        with pytest.raises(InjectedFault):
+            plan.fire("s")
+        assert faults.active_plan() is None

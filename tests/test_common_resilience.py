@@ -1,0 +1,163 @@
+"""Tests for the resilience primitives (repro.common.resilience).
+
+The retry schedule must be deterministic under a seed (chaos runs replay),
+and the circuit breaker must walk the classic closed → open → half-open →
+closed machine exactly, with time injected so no test sleeps through a
+cooldown.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.resilience import (
+    DEGRADATION_MODES,
+    CircuitBreaker,
+    FaultPolicy,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ReproError, match="backoff_seconds"):
+            RetryPolicy(backoff_seconds=-0.1)
+        with pytest.raises(ReproError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_retries=5,
+            backoff_seconds=0.1,
+            multiplier=2.0,
+            max_backoff_seconds=0.3,
+            jitter=0.0,
+        )
+        rng = Random(0)
+        assert policy.delay_seconds(0, rng) == pytest.approx(0.1)
+        assert policy.delay_seconds(1, rng) == pytest.approx(0.2)
+        assert policy.delay_seconds(2, rng) == pytest.approx(0.3)  # capped
+        assert policy.delay_seconds(3, rng) == pytest.approx(0.3)  # stays capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=0.1, jitter=0.25)
+        first = [policy.delay_seconds(a, Random(42)) for a in range(3)]
+        second = [policy.delay_seconds(a, Random(42)) for a in range(3)]
+        assert first == second
+        for attempt, delay in enumerate(first):
+            base = min(0.1 * 2.0**attempt, policy.max_backoff_seconds)
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_default_policy_never_retries(self):
+        assert RetryPolicy().max_retries == 0
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ReproError, match="cooldown_seconds"):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+    def test_closed_allows_and_failures_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold_and_refuses(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 1
+
+    def test_cooldown_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # probe in flight: everyone else refused
+
+    def test_probe_success_closes(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_as_dict_reports_tuning_and_state(self):
+        breaker = CircuitBreaker(failure_threshold=4, cooldown_seconds=2.0)
+        info = breaker.as_dict()
+        assert info == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "failure_threshold": 4,
+            "cooldown_seconds": 2.0,
+            "opens": 0,
+        }
+
+
+class TestFaultPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError, match="shard_timeout_seconds"):
+            FaultPolicy(shard_timeout_seconds=0.0)
+        with pytest.raises(ReproError, match="degradation"):
+            FaultPolicy(degradation="yolo")
+
+    def test_modes(self):
+        assert DEGRADATION_MODES == ("strict", "degraded")
+        assert FaultPolicy().degradation == "strict"
+
+    def test_build_breaker_applies_tuning(self):
+        policy = FaultPolicy(breaker_failure_threshold=7, breaker_cooldown_seconds=3.0)
+        breaker = policy.build_breaker()
+        assert breaker.failure_threshold == 7
+        assert breaker.cooldown_seconds == 3.0

@@ -196,3 +196,113 @@ class TestTickAndReport:
         assert payload["queries_served"] == 32
         assert payload["rows_inserted"] == 10
         json.dumps(payload)  # must not raise
+
+
+class TestMaintenanceFailures:
+    """Failed maintenance (merge, reoptimize) must never take serving down:
+    the failure is recorded as a ``maintenance_error`` event and the action is
+    retried the next time its trigger fires."""
+
+    def test_pressure_merge_failure_keeps_serving_then_retries(
+        self, fresh_table, fresh_workload
+    ):
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        index = build_delta(fresh_table, fresh_workload)
+        manager = LifecycleManager(
+            index, LifecycleConfig(observe_window=10_000, merge_pressure=0.001)
+        )
+        plan = FaultPlan([FaultSpec(site="delta.merge", max_triggers=1)])
+        with faults.active(plan):
+            manager.insert_many(new_rows(15))  # pressure merge fails inside
+        report = manager.report()
+        assert report.maintenance_failures == 1
+        assert report.merges == 0
+        assert index.num_pending == 15  # buffer intact, rows still visible
+        failure = next(e for e in report.events if e.kind == "maintenance_error")
+        assert failure.details["operation"] == "merge"
+        assert failure.details["trigger"] == "pressure"
+        assert "InjectedFault" in failure.details["error"]
+        # Serving continued throughout, and the next trigger retries the merge.
+        manager.run_batch(novel_queries(4))
+        manager.insert(new_rows(1, seed=77)[0])
+        assert manager.report().merges == 1
+        assert index.num_pending == 0
+
+    def test_failed_merge_does_not_brick_the_delta_index(self, fresh_table, fresh_workload):
+        """A merge that dies mid-rebuild leaves the old index serving."""
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        index = build_delta(fresh_table, fresh_workload)
+        index.insert_many(new_rows(10))
+        plan = FaultPlan([FaultSpec(site="delta.merge", max_triggers=1)])
+        with faults.active(plan):
+            with pytest.raises(Exception):
+                index.merge()
+        # The wrapped index was not replaced by a half-built one.
+        assert index.is_built
+        query = novel_queries(1)[0]
+        result = index.execute(query)
+        assert result is not None
+        assert index.num_pending == 10
+
+    def test_reoptimize_failure_records_event_and_serving_continues(
+        self, fresh_table, fresh_workload
+    ):
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        index = build_delta(fresh_table, fresh_workload)
+        manager = LifecycleManager(
+            index, LifecycleConfig(observe_window=32, merge_pressure=None)
+        )
+        manager.insert_many(new_rows(15))
+        plan = FaultPlan([FaultSpec(site="lifecycle.reoptimize", max_triggers=1)])
+        with faults.active(plan):
+            manager.run_batch(novel_queries(32))
+        report = manager.report()
+        assert report.drifts_detected == 1
+        assert report.reoptimizations == 0
+        assert report.maintenance_failures == 1
+        assert report.merges == 1  # the drift merge preceding it succeeded
+        failure = next(e for e in report.events if e.kind == "maintenance_error")
+        assert failure.details["operation"] == "reoptimize"
+        # Queries stay correct on the unrepaired layout.
+        for query in novel_queries(5, seed=53):
+            expected, _ = execute_full_scan(index.table, query)
+            assert manager.run(query).value == expected
+
+    def test_failed_drift_merge_skips_reoptimization(self, fresh_table, fresh_workload):
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        index = build_delta(fresh_table, fresh_workload)
+        manager = LifecycleManager(
+            index, LifecycleConfig(observe_window=32, merge_pressure=None)
+        )
+        manager.insert_many(new_rows(15))
+        plan = FaultPlan([FaultSpec(site="delta.merge")])
+        with faults.active(plan):
+            manager.run_batch(novel_queries(32))
+        report = manager.report()
+        assert report.drifts_detected == 1
+        assert report.maintenance_failures == 1
+        assert report.reoptimizations == 0  # layout repair skipped, not crashed
+        assert index.num_pending == 15
+
+    def test_listeners_see_maintenance_error_events(self, fresh_table, fresh_workload):
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        index = build_delta(fresh_table, fresh_workload)
+        manager = LifecycleManager(
+            index, LifecycleConfig(observe_window=10_000, merge_pressure=0.001)
+        )
+        seen = []
+        manager.subscribe(seen.append)
+        plan = FaultPlan([FaultSpec(site="delta.merge", max_triggers=1)])
+        with faults.active(plan):
+            manager.insert_many(new_rows(15))
+        assert any(event.kind == "maintenance_error" for event in seen)

@@ -336,3 +336,83 @@ class TestSnapshotInfo:
     def test_empty_directory_rejected(self, tmp_path):
         with pytest.raises(SchemaError):
             snapshot_info(tmp_path)
+
+
+class TestCrashSafety:
+    """save_index stages into a temp sibling and swaps atomically, so a crash
+    mid-write (injected at the ``persistence.save`` site) never corrupts or
+    removes an existing snapshot."""
+
+    def build_index(self, seed: int = 3) -> KdTreeIndex:
+        return KdTreeIndex(page_size=128).build(mixed_table(seed=seed), None)
+
+    def test_failed_save_preserves_previous_snapshot(self, tmp_path):
+        from repro.common import faults
+        from repro.common.errors import InjectedFault
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        target = tmp_path / "snap"
+        first = self.build_index(seed=3)
+        save_index(first, target)
+        second = self.build_index(seed=4)
+        plan = FaultPlan([FaultSpec(site="persistence.save")])
+        with faults.active(plan):
+            with pytest.raises(InjectedFault):
+                save_index(second, target)
+        assert plan.injected("persistence.save") == 1
+        # The old snapshot is intact and still loads the *first* index.
+        loaded = load_index(target)
+        assert loaded.table.num_rows == first.table.num_rows
+        query = Query.from_ranges({"quantity": (0, 50)})
+        assert loaded.execute(query).value == first.execute(query).value
+        # The failed staging directory was cleaned up.
+        assert not (tmp_path / "snap.saving").exists()
+
+    def test_failed_first_save_leaves_nothing_behind(self, tmp_path):
+        from repro.common import faults
+        from repro.common.errors import InjectedFault
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        target = tmp_path / "snap"
+        plan = FaultPlan([FaultSpec(site="persistence.save")])
+        with faults.active(plan):
+            with pytest.raises(InjectedFault):
+                save_index(self.build_index(), target)
+        assert not target.exists()
+        assert not (tmp_path / "snap.saving").exists()
+        with pytest.raises(IndexBuildError):
+            load_index(target)
+
+    def test_fault_inside_nested_shard_write_preserves_previous(self, tmp_path):
+        from repro.common import faults
+        from repro.common.faults import FaultPlan, FaultSpec
+
+        target = tmp_path / "snap"
+        table = mixed_table()
+        sharded = ShardedIndex(
+            partial(KdTreeIndex, page_size=128),
+            num_shards=3,
+            shard_dimension="quantity",
+        ).build(table, None)
+        save_index(sharded, target)
+        # Crash while writing the second shard of the *replacement* snapshot.
+        plan = FaultPlan([FaultSpec(site="persistence.save", key="shard_01")])
+        with faults.active(plan):
+            with pytest.raises(Exception):
+                save_index(sharded, target)
+        loaded = load_index(target)
+        assert len(loaded.shards) == 3
+        query = Query.from_ranges({"quantity": (0, 99)})
+        expected, _ = execute_full_scan(table, query)
+        assert loaded.execute(query).value == expected
+
+    def test_successful_overwrite_leaves_no_residue(self, tmp_path):
+        target = tmp_path / "snap"
+        save_index(self.build_index(seed=3), target)
+        replacement = self.build_index(seed=5)
+        save_index(replacement, target)
+        assert not (tmp_path / "snap.saving").exists()
+        assert not (tmp_path / "snap.old").exists()
+        loaded = load_index(target)
+        query = Query.from_ranges({"quantity": (0, 50)})
+        assert loaded.execute(query).value == replacement.execute(query).value
