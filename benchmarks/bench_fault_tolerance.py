@@ -1,22 +1,9 @@
-"""Fault-tolerance benchmark: serving under a deterministic fault schedule.
+"""Fault-tolerance tracker: serving under a deterministic fault schedule (thin wrapper).
 
-Robustness (PR 7) promises that the sharded serving path degrades gracefully
-under faults and recovers to baseline the moment they clear.  This benchmark
-measures exactly that, in three phases over one sharded index guarded by a
-``degraded`` :class:`~repro.common.resilience.FaultPolicy` (per-shard
-timeouts, one retry with seeded jittered backoff, per-shard circuit
-breakers):
-
-1. **baseline** — a zipf-skewed batched stream with no faults installed;
-   throughput and per-batch latency are the reference.
-2. **faulted** — the same stream under a seeded
-   :class:`~repro.common.faults.FaultPlan` injecting transient errors and
-   delays at the ``shard.execute`` site.  Serving must survive: every batch
-   returns (partial answers are allowed and accounted), and the fault
-   counters report what the defenses absorbed.
-3. **recovered** — the same stream again with the plan uninstalled and
-   breaker cooldowns elapsed.  Values must be bit-identical to the baseline
-   phase, and throughput must recover.
+The three-phase (baseline → faulted → recovered) measurement body lives in
+:mod:`repro.bench.trackers` (tracker ``faults``) and the scales/seeds in
+``benchmarks/configs/tracker_faults.json``; this script only preserves the
+historical entry point.
 
 Run from the repository root::
 
@@ -26,272 +13,26 @@ Run from the repository root::
 The full mode writes ``BENCH_faults.json`` at the repository root (the smoke
 run only when ``--output`` is passed explicitly).  The smoke mode exits
 non-zero when the faulted phase fails to serve every query, when recovered
-values diverge from baseline, or when recovered throughput falls below
-``RECOVERY_FLOOR`` of baseline.
+values diverge from baseline, or when recovered throughput falls below the
+recovery floor.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
-from functools import partial
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.trackers import tracker_main
 
-from repro.common import faults
-from repro.common.faults import FaultPlan, FaultSpec
-from repro.common.resilience import FaultPolicy, RetryPolicy
-from repro.core.sharding import ShardedIndex, scaled_tsunami_config
-from repro.core.tsunami import TsunamiConfig, TsunamiIndex
-from repro.query.query import Query
-from repro.query.workload import Workload
-from repro.storage.table import Table
-
-BATCH_SIZE = 256
-NUM_SHARDS = 8
-DOMAIN = 100_000
-
-#: Smoke gate: recovered throughput must be at least this fraction of baseline.
-RECOVERY_FLOOR = 0.6
-
-
-def make_dataset(num_rows: int, seed: int = 43) -> Table:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, DOMAIN, num_rows)
-    y = x * 3 + rng.integers(-500, 501, num_rows)
-    z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays("faulty", {"x": x, "y": y, "z": z})
-
-
-def make_skewed_stream(
-    num_templates: int, num_queries: int, seed: int = 44
-) -> tuple[Workload, list[Query]]:
-    rng = np.random.default_rng(seed)
-    templates = []
-    for _ in range(num_templates):
-        x_low = int(rng.integers(0, DOMAIN - 6_000))
-        templates.append(
-            Query.from_ranges(
-                {
-                    "x": (x_low, x_low + int(rng.integers(1_000, 5_000))),
-                    "z": (0, int(rng.integers(1_000, 4_500))),
-                }
-            )
-        )
-    draws = rng.zipf(1.2, size=num_queries) - 1
-    stream = [templates[int(d) % num_templates] for d in draws]
-    return Workload(templates, name="templates"), stream
-
-
-def shard_factory(optimizer_iterations: int = 1):
-    config = scaled_tsunami_config(
-        NUM_SHARDS, TsunamiConfig(optimizer_iterations=optimizer_iterations)
-    )
-    return partial(TsunamiIndex, config)
-
-
-def fault_schedule(seed: int) -> FaultPlan:
-    """Transient errors plus injected delays at the shard-execution site.
-
-    Probabilities are drawn from the plan's seeded RNG, so the same seed over
-    the same batch sequence replays the identical schedule.
-    """
-    return FaultPlan(
-        [
-            FaultSpec(site="shard.execute", kind="error", probability=0.15),
-            FaultSpec(
-                site="shard.execute", kind="delay", probability=0.10, delay_seconds=0.003
-            ),
-        ],
-        seed=seed,
-    )
-
-
-def serving_policy() -> FaultPolicy:
-    return FaultPolicy(
-        shard_timeout_seconds=5.0,
-        retry=RetryPolicy(max_retries=1, backoff_seconds=0.001, seed=7),
-        breaker_failure_threshold=3,
-        breaker_cooldown_seconds=0.05,
-        degradation="degraded",
-    )
-
-
-def run_phase(index: ShardedIndex, stream: list[Query]) -> dict:
-    """Serve ``stream`` in batches; throughput, latency, and the raw values."""
-    batch_seconds: list[float] = []
-    values: list[float | None] = []
-    before = dict(index.fault_stats.as_dict())
-    start = time.perf_counter()
-    for offset in range(0, len(stream), BATCH_SIZE):
-        batch = stream[offset : offset + BATCH_SIZE]
-        batch_start = time.perf_counter()
-        results = index.execute_batch(batch)
-        batch_seconds.append(time.perf_counter() - batch_start)
-        values.extend(result.value for result in results)
-    seconds = time.perf_counter() - start
-    after = index.fault_stats.as_dict()
-    latencies = sorted(batch_seconds)
-
-    def percentile(fraction: float) -> float:
-        return latencies[min(int(len(latencies) * fraction), len(latencies) - 1)]
-
-    return {
-        "queries": len(stream),
-        "queries_per_second": round(len(stream) / seconds, 1),
-        "seconds_total": round(seconds, 4),
-        "batch_latency_ms": {
-            "p50": round(percentile(0.50) * 1e3, 3),
-            "p95": round(percentile(0.95) * 1e3, 3),
-            "max": round(latencies[-1] * 1e3, 3),
-        },
-        "fault_stats_delta": {
-            key: after[key] - before[key] for key in after
-        },
-        "values": values,
-    }
-
-
-def bench_fault_tolerance(
-    num_rows: int, num_templates: int, num_queries: int, seed: int
-) -> tuple[dict, list[str]]:
-    """The three-phase chaos run; returns the report and any gate failures."""
-    templates, stream = make_skewed_stream(num_templates, num_queries)
-    index = ShardedIndex(
-        shard_factory(),
-        num_shards=NUM_SHARDS,
-        shard_dimension="x",
-        parallelism=NUM_SHARDS,
-        fault_policy=serving_policy(),
-    )
-    index.build(make_dataset(num_rows), templates)
-
-    failures: list[str] = []
-    try:
-        # Warm plan caches so every phase measures steady state.
-        index.execute_batch(stream[: min(BATCH_SIZE, len(stream))])
-
-        baseline = run_phase(index, stream)
-        if baseline["fault_stats_delta"]["partial_serves"]:
-            failures.append("baseline phase reported partial serves without faults")
-
-        plan = fault_schedule(seed)
-        with faults.active(plan):
-            faulted = run_phase(index, stream)
-        faulted["injected_faults"] = len(plan.injections)
-        faulted["injected_errors"] = sum(
-            1 for injection in plan.injections if injection.kind == "error"
-        )
-        faulted["injected_delays"] = sum(
-            1 for injection in plan.injections if injection.kind == "delay"
-        )
-        if faulted["queries"] != len(stream):
-            failures.append("faulted phase dropped queries instead of degrading")
-
-        # Let every opened breaker's cooldown elapse so the recovered phase
-        # starts from half-open probes, exactly like a real incident ending.
-        time.sleep(serving_policy().breaker_cooldown_seconds * 2)
-        recovered = run_phase(index, stream)
-    finally:
-        index.close()
-
-    mismatched = sum(
-        1 for a, b in zip(recovered["values"], baseline["values"]) if a != b
-    )
-    if mismatched:
-        failures.append(
-            f"recovered values diverged from baseline for {mismatched} queries"
-        )
-    if recovered["fault_stats_delta"]["shard_failures"]:
-        failures.append("recovered phase still recorded shard failures")
-
-    recovery_ratio = round(
-        recovered["queries_per_second"] / baseline["queries_per_second"], 3
-    )
-    if recovery_ratio < RECOVERY_FLOOR:
-        failures.append(
-            f"recovered throughput is {recovery_ratio}x of baseline "
-            f"(floor {RECOVERY_FLOOR}x)"
-        )
-
-    for phase in (baseline, faulted, recovered):
-        del phase["values"]  # raw values are compared, not reported
-
-    report = {
-        "num_rows": num_rows,
-        "num_shards": NUM_SHARDS,
-        "num_templates": num_templates,
-        "num_queries": num_queries,
-        "batch_size": BATCH_SIZE,
-        "fault_seed": seed,
-        "policy": {
-            "shard_timeout_seconds": 5.0,
-            "max_retries": 1,
-            "breaker_failure_threshold": 3,
-            "breaker_cooldown_seconds": 0.05,
-            "degradation": "degraded",
-        },
-        "baseline": baseline,
-        "faulted": faulted,
-        "recovered": recovered,
-        "recovery_ratio": recovery_ratio,
-        "recovered_bit_identical": mismatched == 0,
-    }
-    return report, failures
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "tracker_faults.json"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small CI scale; exit 1 when serving drops queries under faults, "
-        "recovered values diverge, or recovered throughput falls below "
-        f"{RECOVERY_FLOOR}x baseline",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=11, help="fault-schedule seed (default: 11)"
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="JSON output path (default: BENCH_faults.json at the repo root "
-        "in full mode, no file in smoke mode)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        report, failures = bench_fault_tolerance(
-            num_rows=20_000, num_templates=24, num_queries=1_024, seed=args.seed
-        )
-    else:
-        report, failures = bench_fault_tolerance(
-            num_rows=80_000, num_templates=48, num_queries=4_096, seed=args.seed
-        )
-
-    report["benchmark"] = "fault-tolerant serving"
-    report["mode"] = "smoke" if args.smoke else "full"
-    print(json.dumps(report, indent=2))
-
-    output = args.output
-    if output is None and not args.smoke:
-        output = REPO_ROOT / "BENCH_faults.json"
-    if output is not None:
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {output}", file=sys.stderr)
-
-    for failure in failures:
-        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
-    return 1 if (args.smoke and failures) else 0
+    return tracker_main(CONFIG, argv, default_output_root=REPO_ROOT)
 
 
 if __name__ == "__main__":

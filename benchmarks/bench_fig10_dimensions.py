@@ -5,22 +5,37 @@ dimensions are linearly correlated (strongly or loosely) with the other half.
 The paper's claim is that Tsunami keeps outperforming the other indexes as
 dimensionality grows, and that the Augmented Grid uses correlations to delay
 the curse of dimensionality.
+
+The experiment driver and its parameters (dimension counts, correlation
+panel) come from ``benchmarks/configs/fig10_uncorrelated.json`` and
+``benchmarks/configs/fig10_correlated.json``; only the assertions live here.
 """
 
+from pathlib import Path
+
 from benchmarks.conftest import run_once
-from repro.bench.experiments import experiment_dimensions
+from repro.bench.cli import EXPERIMENTS
+from repro.bench.scenario import load_config
+
+_CONFIGS = Path(__file__).resolve().parent / "configs"
+
+
+def _run_panel(benchmark, config_name, bench_rows, bench_queries):
+    config = load_config(_CONFIGS / config_name)
+    driver, _ = EXPERIMENTS[config.experiment]
+    params = dict(config.params)
+    params["dimension_counts"] = tuple(params["dimension_counts"])
+    return run_once(
+        benchmark,
+        driver,
+        num_rows=bench_rows,
+        queries_per_type=bench_queries,
+        **params,
+    )
 
 
 def test_fig10_uncorrelated_dimensions(benchmark, bench_rows, bench_queries):
-    result = run_once(
-        benchmark,
-        experiment_dimensions,
-        num_rows=bench_rows,
-        queries_per_type=bench_queries,
-        dimension_counts=(4, 8, 12),
-        correlated=False,
-        include_nonlearned=True,
-    )
+    result = _run_panel(benchmark, "fig10_uncorrelated.json", bench_rows, bench_queries)
     print()
     print(result)
     for dims, measurements in result.data.items():
@@ -28,15 +43,7 @@ def test_fig10_uncorrelated_dimensions(benchmark, bench_rows, bench_queries):
 
 
 def test_fig10_correlated_dimensions(benchmark, bench_rows, bench_queries):
-    result = run_once(
-        benchmark,
-        experiment_dimensions,
-        num_rows=bench_rows,
-        queries_per_type=bench_queries,
-        dimension_counts=(4, 8, 12),
-        correlated=True,
-        include_nonlearned=True,
-    )
+    result = _run_panel(benchmark, "fig10_correlated.json", bench_rows, bench_queries)
     print()
     print(result)
     for dims, measurements in result.data.items():

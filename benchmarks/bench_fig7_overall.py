@@ -6,24 +6,32 @@ optimally-tuned non-learned index.  At this reproduction's scale the shape to
 check is the ordering (Tsunami >= Flood on work done) rather than the absolute
 factors; both wall-clock throughput and machine-independent scanned-point
 counts are reported.
+
+The experiment driver and its parameters (which datasets to run) come from
+``benchmarks/configs/fig7_overall.json``; only the assertions live here.
 """
+
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.bench.experiments import experiment_overall
-from repro.bench.harness import measure_index, expected_answers
+from repro.bench.cli import EXPERIMENTS
 from repro.bench.harness import default_index_factories
+from repro.bench.scenario import load_config
 from repro.datasets import load_dataset
+
+CONFIG = load_config(Path(__file__).resolve().parent / "configs" / "fig7_overall.json")
 
 
 def test_fig7_overall_throughput(benchmark, bench_rows, bench_queries):
+    driver, _ = EXPERIMENTS[CONFIG.experiment]
     result = run_once(
         benchmark,
-        experiment_overall,
+        driver,
         num_rows=bench_rows,
         queries_per_type=bench_queries,
-        datasets=("tpch", "taxi", "perfmon", "stocks"),
+        datasets=tuple(CONFIG.params["datasets"]),
     )
     print()
     print(result)
@@ -42,7 +50,7 @@ def test_fig7_overall_throughput(benchmark, bench_rows, bench_queries):
     assert wins >= len(result.data) - 1, "tsunami scans more than flood on most datasets"
 
 
-@pytest.mark.parametrize("dataset", ["tpch", "taxi", "perfmon", "stocks"])
+@pytest.mark.parametrize("dataset", CONFIG.params["datasets"])
 @pytest.mark.parametrize("index_name", ["tsunami", "flood", "kd-tree"])
 def test_fig7_per_query_latency(benchmark, dataset, index_name, bench_rows, bench_queries):
     """Per-query latency of the headline indexes, measured by pytest-benchmark."""

@@ -7,18 +7,31 @@ minutes for 300M rows — here it is seconds at reduced scale).
 
 9b: per-index build time split into data sorting (paid by everyone) and
 layout optimization (paid only by the learned indexes).
+
+The experiment drivers come from ``benchmarks/configs/fig9a_adaptability.json``
+and ``benchmarks/configs/fig9b_creation_time.json``; only the assertions live
+here.
 """
 
+from pathlib import Path
+
 from benchmarks.conftest import run_once
-from repro.bench.experiments import experiment_adaptability, experiment_creation_time
+from repro.bench.cli import EXPERIMENTS
+from repro.bench.scenario import load_config
+
+_CONFIGS = Path(__file__).resolve().parent / "configs"
+CONFIG_9A = load_config(_CONFIGS / "fig9a_adaptability.json")
+CONFIG_9B = load_config(_CONFIGS / "fig9b_creation_time.json")
 
 
 def test_fig9a_workload_shift(benchmark, bench_rows, bench_queries):
+    driver, _ = EXPERIMENTS[CONFIG_9A.experiment]
     result = run_once(
         benchmark,
-        experiment_adaptability,
+        driver,
         num_rows=bench_rows,
         queries_per_type=bench_queries,
+        **CONFIG_9A.params,
     )
     print()
     print(result)
@@ -33,11 +46,13 @@ def test_fig9a_workload_shift(benchmark, bench_rows, bench_queries):
 
 
 def test_fig9b_index_creation_time(benchmark, bench_rows, bench_queries):
+    driver, _ = EXPERIMENTS[CONFIG_9B.experiment]
     result = run_once(
         benchmark,
-        experiment_creation_time,
+        driver,
         num_rows=bench_rows,
         queries_per_type=bench_queries,
+        **CONFIG_9B.params,
     )
     print()
     print(result)

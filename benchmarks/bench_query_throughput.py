@@ -1,267 +1,37 @@
-"""Query-planning and batched-execution throughput tracker.
+"""Query planning + batched execution throughput tracker (thin wrapper).
 
-This benchmark guards the perf trajectory of the serving path introduced with
-the vectorized planner and the batched execution pipeline:
-
-1. **Planning microbenchmark** — plans/sec of the vectorized planner vs the
-   reference recursive planner on a 64x64x16-cell Augmented Grid with
-   selective queries (the regime where per-cell Python work dominated).
-2. **Execution throughput** — end-to-end queries/sec of a built Tsunami index
-   on a skewed (zipf-repeated) workload, for every combination of
-   ``planner in {reference, vectorized}`` and ``batch in {1, 256}``, together
-   with the machine-independent scan-work counters and plan-cache hit rate.
+The measurement body lives in :mod:`repro.bench.trackers` (tracker
+``throughput``) and the scales/seeds in
+``benchmarks/configs/tracker_planning.json``; this script only preserves the
+historical entry point.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_query_throughput.py           # full
     PYTHONPATH=src python benchmarks/bench_query_throughput.py --smoke   # CI
 
-Both modes write ``BENCH_throughput.json`` at the repository root (the smoke
-run only when ``--output`` is passed explicitly).  The smoke mode exits
+The full mode writes ``BENCH_throughput.json`` at the repository root (the
+smoke run only when ``--output`` is passed explicitly).  The smoke mode exits
 non-zero if the vectorized planner is slower than the reference planner, so
 CI catches planning regressions.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.trackers import tracker_main
 
-from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig
-from repro.core.skeleton import Skeleton
-from repro.core.tsunami import TsunamiIndex, make_tsunami
-from repro.query.engine import QueryEngine
-from repro.query.query import Query
-from repro.query.workload import Workload
-from repro.storage.scan import ScanStats
-from repro.storage.table import Table
-
-PLANNING_GRID = {"x": 64, "y": 64, "z": 16}
-BATCH_SIZE = 256
-
-
-def make_planning_grid(num_rows: int, seed: int = 11) -> tuple[Table, AugmentedGrid]:
-    rng = np.random.default_rng(seed)
-    table = Table.from_arrays(
-        "plan_bench",
-        {
-            "x": rng.integers(0, 1_000_000, num_rows),
-            "y": rng.integers(0, 1_000_000, num_rows),
-            "z": rng.integers(0, 1_000_000, num_rows),
-        },
-    )
-    config = AugmentedGridConfig(
-        skeleton=Skeleton.all_independent(["x", "y", "z"]), partitions=dict(PLANNING_GRID)
-    )
-    grid = AugmentedGrid(config)
-    table.reorder(grid.fit(table))
-    return table, grid
-
-
-def selective_queries(num_queries: int, seed: int = 12) -> list[Query]:
-    """Selective 2-3 dimensional range queries over the planning grid's domain."""
-    rng = np.random.default_rng(seed)
-    queries = []
-    for _ in range(num_queries):
-        x_low = int(rng.integers(0, 800_000))
-        y_low = int(rng.integers(0, 600_000))
-        ranges = {
-            "x": (x_low, x_low + int(rng.integers(50_000, 300_000))),
-            "y": (y_low, y_low + int(rng.integers(100_000, 400_000))),
-        }
-        if rng.random() < 0.5:
-            z_low = int(rng.integers(0, 700_000))
-            ranges["z"] = (z_low, z_low + int(rng.integers(100_000, 300_000)))
-        queries.append(Query.from_ranges(ranges))
-    return queries
-
-
-def bench_planning(num_rows: int, num_queries: int, repeats: int) -> dict:
-    """Plans/sec of both planners on the 64x64x16 grid (no caching involved)."""
-    _, grid = make_planning_grid(num_rows)
-    queries = selective_queries(num_queries)
-    results: dict = {
-        "grid": list(PLANNING_GRID.values()),
-        "num_rows": num_rows,
-        "num_queries": num_queries,
-    }
-    for planner in ("reference", "vectorized"):
-        grid.planner = planner
-        for query in queries[: min(8, len(queries))]:  # warm-up
-            grid.plan(query)
-        best = float("inf")
-        spans_total = 0
-        for _ in range(repeats):
-            start = time.perf_counter()
-            spans_total = 0
-            for query in queries:
-                spans, _ = grid.plan(query)
-                spans_total += len(spans)
-            best = min(best, time.perf_counter() - start)
-        results[planner] = {
-            "seconds_total": round(best, 6),
-            "plans_per_second": round(num_queries / best, 1),
-            "avg_spans_per_query": round(spans_total / num_queries, 2),
-        }
-    results["speedup"] = round(
-        results["vectorized"]["plans_per_second"]
-        / results["reference"]["plans_per_second"],
-        2,
-    )
-    return results
-
-
-def make_skewed_dataset(num_rows: int, seed: int = 13) -> Table:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, 100_000, num_rows)
-    y = x * 3 + rng.integers(-500, 501, num_rows)
-    z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays(
-        "throughput", {"x": x, "y": y, "z": z}
-    )
-
-
-def make_skewed_workload(
-    num_templates: int, num_queries: int, seed: int = 14
-) -> tuple[Workload, list[Query]]:
-    """A zipf-skewed stream over a pool of query templates (the paper's §4 regime).
-
-    Returns the template pool (used to optimize the index) and the serving
-    stream (templates repeated with zipf frequencies, hot templates dominant).
-    """
-    rng = np.random.default_rng(seed)
-    templates = []
-    for _ in range(num_templates):
-        x_low = int(rng.integers(0, 90_000))
-        templates.append(
-            Query.from_ranges(
-                {
-                    "x": (x_low, x_low + int(rng.integers(500, 5_000))),
-                    "z": (0, int(rng.integers(500, 4_000))),
-                }
-            )
-        )
-    draws = rng.zipf(1.2, size=num_queries) - 1
-    stream = [templates[int(d) % num_templates] for d in draws]
-    return Workload(templates, name="templates"), stream
-
-
-def set_planner(index: TsunamiIndex, planner: str) -> None:
-    """Flip every region grid's planner without rebuilding the layout."""
-    for region in index._regions:
-        if region.grid is not None:
-            region.grid.planner = planner
-            if region.grid.plan_cache is not None:
-                region.grid.plan_cache.clear()
-
-
-def bench_execution(num_rows: int, num_templates: int, num_queries: int) -> dict:
-    table = make_skewed_dataset(num_rows)
-    templates, stream = make_skewed_workload(num_templates, num_queries)
-    index = make_tsunami(optimizer_iterations=2)
-    index.build(table, templates)
-    engine = QueryEngine(index=index)
-
-    results: dict = {
-        "num_rows": num_rows,
-        "num_templates": num_templates,
-        "num_queries": num_queries,
-        "batch_size": BATCH_SIZE,
-    }
-    for planner in ("reference", "vectorized"):
-        set_planner(index, planner)
-        planner_results = {}
-        for batch in (1, BATCH_SIZE):
-            set_planner(index, planner)  # clears the plan cache between runs
-            total = ScanStats()
-            start = time.perf_counter()
-            if batch == 1:
-                outcomes = [engine.run(query) for query in stream]
-            else:
-                outcomes = engine.run_batch(stream, batch_size=batch)
-            elapsed = time.perf_counter() - start
-            for outcome in outcomes:
-                total.merge(outcome.stats)
-            cache_stats = index.plan_cache_stats()
-            planner_results[f"batch_{batch}"] = {
-                "queries_per_second": round(len(stream) / elapsed, 1),
-                "seconds_total": round(elapsed, 4),
-                "points_scanned": total.points_scanned,
-                "cell_ranges": total.cell_ranges,
-                "rows_matched": total.rows_matched,
-                "scan_work": total.scan_work,
-                "plan_cache_hit_rate": round(cache_stats.hit_rate, 4),
-            }
-        planner_results["batch_speedup"] = round(
-            planner_results[f"batch_{BATCH_SIZE}"]["queries_per_second"]
-            / planner_results["batch_1"]["queries_per_second"],
-            2,
-        )
-        results[planner] = planner_results
-    results["planner_speedup_batch_1"] = round(
-        results["vectorized"]["batch_1"]["queries_per_second"]
-        / results["reference"]["batch_1"]["queries_per_second"],
-        2,
-    )
-    return results
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "tracker_planning.json"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small CI scale; exit 1 if the vectorized planner is slower",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="JSON output path (default: BENCH_throughput.json at the repo "
-        "root in full mode, no file in smoke mode)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        planning = bench_planning(num_rows=40_000, num_queries=60, repeats=2)
-        execution = bench_execution(num_rows=20_000, num_templates=24, num_queries=1024)
-    else:
-        planning = bench_planning(num_rows=200_000, num_queries=200, repeats=3)
-        execution = bench_execution(num_rows=80_000, num_templates=48, num_queries=4096)
-
-    report = {
-        "benchmark": "query planning + batched execution throughput",
-        "mode": "smoke" if args.smoke else "full",
-        "planning": planning,
-        "execution": execution,
-    }
-    print(json.dumps(report, indent=2))
-
-    output = args.output
-    if output is None and not args.smoke:
-        output = REPO_ROOT / "BENCH_throughput.json"
-    if output is not None:
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {output}", file=sys.stderr)
-
-    if args.smoke and planning["speedup"] < 1.0:
-        print(
-            f"SMOKE FAILURE: vectorized planner is slower than reference "
-            f"(speedup {planning['speedup']}x < 1.0x)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return tracker_main(CONFIG, argv, default_output_root=REPO_ROOT)
 
 
 if __name__ == "__main__":

@@ -1,19 +1,9 @@
-"""Serving front-end latency + throughput tracker (concurrency, PR 6).
+"""Concurrent serving front-end latency + throughput tracker (thin wrapper).
 
-This benchmark guards the perf trajectory of the concurrent serving layer:
-
-1. **Closed-loop throughput** — queries/sec of a zipf-skewed stream served
-   three ways: serialized per-query execution (one ``engine.run`` at a
-   time, the no-server baseline), concurrent clients through the
-   micro-batching front-end with the result cache disabled (isolates the
-   batching win), and the same front-end with the cache enabled (adds the
-   repeated-template win).  Every configuration must return bit-identical
-   values.
-2. **Open-loop latency** — clients submit on a Poisson arrival schedule at a
-   rate calibrated *above* the serialized capacity (offered load =
-   ``OVERLOAD_FACTOR`` × serialized qps), and per-query latency is measured
-   from the scheduled arrival to completion.  p50/p95/p99 show what
-   micro-batching does to tail latency when a single-query loop saturates.
+The measurement body lives in :mod:`repro.bench.trackers` (tracker
+``serving``) and the scales/seeds in
+``benchmarks/configs/tracker_serving.json``; this script only preserves the
+historical entry point.
 
 Run from the repository root::
 
@@ -22,295 +12,26 @@ Run from the repository root::
 
 The full mode writes ``BENCH_serving.json`` at the repository root (the smoke
 run only when ``--output`` is passed explicitly).  The smoke mode exits
-non-zero if concurrent micro-batched serving (cache off) fails to beat
-serialized per-query serving on the skewed workload.
+non-zero when concurrent micro-batched serving (cache off) regresses below
+serialized per-query serving.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.trackers import tracker_main
 
-from repro.core.tsunami import TsunamiConfig, TsunamiIndex
-from repro.query.engine import QueryEngine
-from repro.query.query import Query
-from repro.query.workload import Workload
-from repro.serve import ServingConfig, ServingFrontend
-from repro.storage.table import Table
-
-DOMAIN = 100_000
-# Closed-loop client threads. This also caps the batch the window can form
-# (a blocked client cannot resubmit), so it is sized well above the
-# break-even batch size of the batched pipeline (~8 on this workload).
-NUM_CLIENTS = 32
-OVERLOAD_FACTOR = 1.4  # offered open-loop load relative to serialized capacity
-
-
-def make_dataset(num_rows: int, seed: int = 41) -> Table:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, DOMAIN, num_rows)
-    y = x * 3 + rng.integers(-500, 501, num_rows)
-    z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays("serving", {"x": x, "y": y, "z": z})
-
-
-def make_skewed_stream(
-    num_templates: int, num_queries: int, seed: int = 42
-) -> tuple[Workload, list[Query]]:
-    """Zipf-repeated templates: the bursty skewed traffic Tsunami targets."""
-    rng = np.random.default_rng(seed)
-    templates = []
-    for _ in range(num_templates):
-        x_low = int(rng.integers(0, DOMAIN - 6_000))
-        templates.append(
-            Query.from_ranges(
-                {
-                    "x": (x_low, x_low + int(rng.integers(1_000, 5_000))),
-                    "z": (0, int(rng.integers(1_000, 4_500))),
-                }
-            )
-        )
-    draws = rng.zipf(1.2, size=num_queries) - 1
-    stream = [templates[int(d) % num_templates] for d in draws]
-    return Workload(templates, name="templates"), stream
-
-
-def build_engine(num_rows: int, templates: Workload) -> QueryEngine:
-    index = TsunamiIndex(TsunamiConfig(optimizer_iterations=2))
-    index.build(make_dataset(num_rows), templates)
-    return QueryEngine(index=index)
-
-
-def serving_config(cache: bool) -> ServingConfig:
-    return ServingConfig(
-        max_batch_size=256,
-        max_delay_seconds=0.002,
-        idle_gap_seconds=0.00025,
-        max_queue_depth=8_192,
-        cache_entries=4_096 if cache else 0,
-    )
-
-
-def percentile_summary(latencies_s: list[float]) -> dict:
-    values = np.asarray(latencies_s) * 1_000.0
-    p50, p95, p99 = np.percentile(values, [50, 95, 99])
-    return {
-        "p50_ms": round(float(p50), 3),
-        "p95_ms": round(float(p95), 3),
-        "p99_ms": round(float(p99), 3),
-        "mean_ms": round(float(values.mean()), 3),
-        "max_ms": round(float(values.max()), 3),
-    }
-
-
-# -- closed loop: throughput ------------------------------------------------------------
-
-
-def run_serialized(engine: QueryEngine, stream: list[Query]) -> tuple[float, list[float]]:
-    """One query at a time through ``engine.run`` — the no-server baseline."""
-    start = time.perf_counter()
-    values = [engine.run(query).value for query in stream]
-    return time.perf_counter() - start, values
-
-
-def run_concurrent(
-    frontend: ServingFrontend, stream: list[Query], num_clients: int
-) -> tuple[float, list[float]]:
-    """``num_clients`` closed-loop clients submitting through the front-end."""
-    start = time.perf_counter()
-    with ThreadPoolExecutor(num_clients) as pool:
-        results = list(pool.map(frontend.query, stream))
-    return time.perf_counter() - start, [result.value for result in results]
-
-
-def bench_closed_loop(engine: QueryEngine, stream: list[Query]) -> dict:
-    results: dict = {"num_queries": len(stream), "num_clients": NUM_CLIENTS}
-
-    # Warm the plan caches once so every mode measures steady state.
-    engine.run_batch(stream[:256], batch_size=256)
-
-    serial_seconds, expected = run_serialized(engine, stream)
-    results["serialized"] = {
-        "queries_per_second": round(len(stream) / serial_seconds, 1),
-        "seconds_total": round(serial_seconds, 4),
-    }
-
-    for label, cache in (("batched", False), ("batched_cached", True)):
-        with ServingFrontend(engine, _no_close(serving_config(cache))) as frontend:
-            seconds, values = run_concurrent(frontend, stream, NUM_CLIENTS)
-            for got, want in zip(values, expected):
-                assert got == want, f"{label} serving diverged from serialized"
-            results[label] = {
-                "queries_per_second": round(len(stream) / seconds, 1),
-                "seconds_total": round(seconds, 4),
-                "stats": frontend.describe(),
-            }
-
-    serial_qps = results["serialized"]["queries_per_second"]
-    results["batched_vs_serialized"] = round(
-        results["batched"]["queries_per_second"] / serial_qps, 3
-    )
-    results["cached_vs_serialized"] = round(
-        results["batched_cached"]["queries_per_second"] / serial_qps, 3
-    )
-    return results
-
-
-def _no_close(config: ServingConfig) -> ServingConfig:
-    """The benchmark reuses one engine across front-ends; don't close it."""
-    from dataclasses import replace
-
-    return replace(config, close_backend=False)
-
-
-# -- open loop: latency -----------------------------------------------------------------
-
-
-def arrival_offsets(num_queries: int, rate_qps: float, seed: int = 43) -> np.ndarray:
-    rng = np.random.default_rng(seed)
-    return rng.exponential(1.0 / rate_qps, size=num_queries).cumsum()
-
-
-def open_loop_serialized(
-    engine: QueryEngine, stream: list[Query], offsets: np.ndarray
-) -> list[float]:
-    """A single server thread working a Poisson arrival schedule."""
-    latencies = []
-    start = time.perf_counter()
-    for query, offset in zip(stream, offsets):
-        scheduled = start + offset
-        now = time.perf_counter()
-        if now < scheduled:
-            time.sleep(scheduled - now)
-        engine.run(query)
-        latencies.append(time.perf_counter() - scheduled)
-    return latencies
-
-
-def open_loop_concurrent(
-    frontend: ServingFrontend,
-    stream: list[Query],
-    offsets: np.ndarray,
-    num_clients: int,
-) -> list[float]:
-    """``num_clients`` threads splitting the same arrival schedule."""
-    latencies: list[float] = []
-    lock = threading.Lock()
-    start = time.perf_counter()
-
-    def client(position: int) -> None:
-        mine = []
-        for i in range(position, len(stream), num_clients):
-            scheduled = start + offsets[i]
-            now = time.perf_counter()
-            if now < scheduled:
-                time.sleep(scheduled - now)
-            frontend.query(stream[i])
-            mine.append(time.perf_counter() - scheduled)
-        with lock:
-            latencies.extend(mine)
-
-    threads = [threading.Thread(target=client, args=(t,)) for t in range(num_clients)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    return latencies
-
-
-def bench_open_loop(
-    engine: QueryEngine, stream: list[Query], serialized_qps: float
-) -> dict:
-    rate = serialized_qps * OVERLOAD_FACTOR
-    offsets = arrival_offsets(len(stream), rate)
-    results: dict = {
-        "num_queries": len(stream),
-        "num_clients": NUM_CLIENTS,
-        "offered_load_qps": round(rate, 1),
-        "overload_factor_vs_serialized": OVERLOAD_FACTOR,
-    }
-
-    results["serialized"] = percentile_summary(
-        open_loop_serialized(engine, stream, offsets)
-    )
-    for label, cache in (("batched", False), ("batched_cached", True)):
-        with ServingFrontend(engine, _no_close(serving_config(cache))) as frontend:
-            latencies = open_loop_concurrent(frontend, stream, offsets, NUM_CLIENTS)
-            results[label] = percentile_summary(latencies)
-            results[label]["batching"] = frontend.batcher.stats.as_dict()
-            if frontend.cache is not None:
-                results[label]["cache"] = frontend.cache.stats.as_dict()
-    return results
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "tracker_serving.json"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small CI scale; exit 1 if concurrent micro-batched serving "
-        "fails to beat serialized per-query serving",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="JSON output path (default: BENCH_serving.json at the repo root "
-        "in full mode, no file in smoke mode)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        num_rows, num_templates, num_queries, open_loop_queries = 30_000, 24, 2_048, 768
-    else:
-        num_rows, num_templates, num_queries, open_loop_queries = 120_000, 48, 8_192, 4_096
-
-    templates, stream = make_skewed_stream(num_templates, num_queries)
-    engine = build_engine(num_rows, templates)
-
-    closed = bench_closed_loop(engine, stream)
-    open_loop = bench_open_loop(
-        engine, stream[:open_loop_queries], closed["serialized"]["queries_per_second"]
-    )
-
-    report = {
-        "benchmark": "concurrent serving front-end latency + throughput",
-        "mode": "smoke" if args.smoke else "full",
-        "num_rows": num_rows,
-        "num_templates": num_templates,
-        "closed_loop_throughput": closed,
-        "open_loop_latency": open_loop,
-    }
-    print(json.dumps(report, indent=2))
-
-    output = args.output
-    if output is None and not args.smoke:
-        output = REPO_ROOT / "BENCH_serving.json"
-    if output is not None:
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {output}", file=sys.stderr)
-
-    if args.smoke and closed["batched_vs_serialized"] < 1.0:
-        print(
-            "SMOKE FAILURE: concurrent micro-batched serving regressed below "
-            f"serialized per-query serving "
-            f"({closed['batched_vs_serialized']}x < 1.0x)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return tracker_main(CONFIG, argv, default_output_root=REPO_ROOT)
 
 
 if __name__ == "__main__":

@@ -1,17 +1,9 @@
-"""Sharded serving-layer throughput tracker (scale-out, PR 5).
+"""Sharded serving layer throughput tracker (thin wrapper).
 
-This benchmark guards the perf trajectory of the sharded serving path:
-
-1. **Batched throughput** — queries/sec of a zipf-skewed stream served
-   through ``QueryEngine`` over one monolithic :class:`TsunamiIndex` vs a
-   :class:`ShardedIndex` executing shards serially vs the same sharded index
-   fanning shard batches out on a thread pool.  Every configuration must
-   return bit-identical values.
-2. **Bounding-box pruning** — how many shards the per-shard bounding boxes
-   let each query template skip (the skewed workload is localized along the
-   shard dimension, so most templates touch one shard).
-3. **Updatable shards** — the same stream over delta-buffered shards holding
-   pending inserts, still on the batched path.
+The measurement body lives in :mod:`repro.bench.trackers` (tracker
+``shards``) and the scales/seeds in
+``benchmarks/configs/tracker_sharding.json``; this script only preserves the
+historical entry point.
 
 Run from the repository root::
 
@@ -20,273 +12,26 @@ Run from the repository root::
 
 The full mode writes ``BENCH_shards.json`` at the repository root (the smoke
 run only when ``--output`` is passed explicitly).  The smoke mode exits
-non-zero if sharded batched throughput regresses below the single-index
-baseline on the skewed workload.
+non-zero if sharded-parallel batched throughput regresses below the
+single-index baseline.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
-from functools import partial
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.trackers import tracker_main
 
-from repro.core.delta import DeltaBufferedIndex
-from repro.core.sharding import ShardedIndex, scaled_tsunami_config
-from repro.core.tsunami import TsunamiConfig, TsunamiIndex
-from repro.query.engine import QueryEngine
-from repro.query.query import Query
-from repro.query.workload import Workload
-from repro.storage.table import Table
-
-BATCH_SIZE = 256
-NUM_SHARDS = 8
-DOMAIN = 100_000
-
-
-def make_dataset(num_rows: int, seed: int = 33) -> Table:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, DOMAIN, num_rows)
-    y = x * 3 + rng.integers(-500, 501, num_rows)
-    z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays("sharded", {"x": x, "y": y, "z": z})
-
-
-def make_skewed_stream(
-    num_templates: int, num_queries: int, seed: int = 34
-) -> tuple[Workload, list[Query]]:
-    """Templates localized along the shard dimension, zipf-repeated.
-
-    Each template's x-window is far narrower than a shard's value range, so
-    per-shard bounding boxes prune most shards — the regime the scale-out
-    layer is built for.
-    """
-    rng = np.random.default_rng(seed)
-    templates = []
-    for _ in range(num_templates):
-        x_low = int(rng.integers(0, DOMAIN - 6_000))
-        templates.append(
-            Query.from_ranges(
-                {
-                    "x": (x_low, x_low + int(rng.integers(1_000, 5_000))),
-                    "z": (0, int(rng.integers(1_000, 4_500))),
-                }
-            )
-        )
-    draws = rng.zipf(1.2, size=num_queries) - 1
-    stream = [templates[int(d) % num_templates] for d in draws]
-    return Workload(templates, name="templates"), stream
-
-
-def tsunami_factory(optimizer_iterations: int = 2):
-    return partial(TsunamiIndex, TsunamiConfig(optimizer_iterations=optimizer_iterations))
-
-
-def shard_factory(optimizer_iterations: int = 2):
-    """Per-shard factory with the layout budget scaled to one shard's share."""
-    config = scaled_tsunami_config(
-        NUM_SHARDS, TsunamiConfig(optimizer_iterations=optimizer_iterations)
-    )
-    return partial(TsunamiIndex, config)
-
-
-def timed(run) -> tuple[float, list]:
-    start = time.perf_counter()
-    outcomes = run()
-    return time.perf_counter() - start, outcomes
-
-
-def bench_batched_throughput(
-    num_rows: int, num_templates: int, num_queries: int, parallelism: int
-) -> dict:
-    """Single index vs sharded-serial vs sharded-parallel on one skewed stream."""
-    templates, stream = make_skewed_stream(num_templates, num_queries)
-
-    single = tsunami_factory()()
-    single.build(make_dataset(num_rows), templates)
-
-    serial = ShardedIndex(shard_factory(), num_shards=NUM_SHARDS, shard_dimension="x")
-    serial.build(make_dataset(num_rows), templates)
-
-    parallel = ShardedIndex(
-        shard_factory(), num_shards=NUM_SHARDS, shard_dimension="x", parallelism=parallelism
-    )
-    parallel.build(make_dataset(num_rows), templates)
-
-    engines = {
-        "single_batched": QueryEngine(index=single),
-        "sharded_serial_batched": QueryEngine(index=serial),
-        "sharded_parallel_batched": QueryEngine(index=parallel),
-    }
-    results: dict = {
-        "num_rows": num_rows,
-        "num_shards": NUM_SHARDS,
-        "parallelism": parallelism,
-        "num_templates": num_templates,
-        "num_queries": num_queries,
-        "batch_size": BATCH_SIZE,
-    }
-
-    # Warm every serving path (plan caches persist across batches in a real
-    # server) so the comparison is steady-state.
-    warmup = stream[: min(BATCH_SIZE, len(stream))]
-    for engine in engines.values():
-        engine.run_batch(warmup, batch_size=BATCH_SIZE)
-
-    values: dict[str, list] = {}
-    for label, engine in engines.items():
-        seconds, outcomes = timed(lambda e=engine: e.run_batch(stream, batch_size=BATCH_SIZE))
-        values[label] = outcomes
-        results[label] = {
-            "queries_per_second": round(len(stream) / seconds, 1),
-            "seconds_total": round(seconds, 4),
-        }
-
-    for label in ("sharded_serial_batched", "sharded_parallel_batched"):
-        for reference, candidate in zip(values["single_batched"], values[label]):
-            assert candidate.value == reference.value, f"{label} diverged from single index"
-
-    single_qps = results["single_batched"]["queries_per_second"]
-    results["sharded_serial_vs_single"] = round(
-        results["sharded_serial_batched"]["queries_per_second"] / single_qps, 3
-    )
-    results["sharded_parallel_vs_single"] = round(
-        results["sharded_parallel_batched"]["queries_per_second"] / single_qps, 3
-    )
-    return results
-
-
-def bench_pruning(num_rows: int, num_templates: int) -> dict:
-    """How many shards the per-shard bounding boxes skip per query template."""
-    templates, _ = make_skewed_stream(num_templates, 1)
-    sharded = ShardedIndex(shard_factory(), num_shards=NUM_SHARDS, shard_dimension="x")
-    sharded.build(make_dataset(num_rows), templates)
-    pruned = [sharded.shards_pruned(query) for query in templates]
-    return {
-        "num_rows": num_rows,
-        "num_shards": NUM_SHARDS,
-        "num_templates": num_templates,
-        "avg_shards_pruned": round(float(np.mean(pruned)), 2),
-        "min_shards_pruned": int(min(pruned)),
-        "max_shards_pruned": int(max(pruned)),
-        "avg_fraction_pruned": round(float(np.mean(pruned)) / NUM_SHARDS, 3),
-    }
-
-
-def bench_updatable_shards(
-    num_rows: int, num_inserts: int, num_templates: int, num_queries: int, parallelism: int
-) -> dict:
-    """The batched path over delta-buffered shards holding pending inserts."""
-    templates, stream = make_skewed_stream(num_templates, num_queries)
-    factory = partial(
-        DeltaBufferedIndex, shard_factory(), merge_threshold=10 * max(num_inserts, 1)
-    )
-    sharded = ShardedIndex(
-        factory, num_shards=NUM_SHARDS, shard_dimension="x", parallelism=parallelism
-    )
-    sharded.build(make_dataset(num_rows), templates)
-
-    rng = np.random.default_rng(35)
-    rows = [
-        {
-            "x": int(x),
-            "y": int(x) * 3 + int(rng.integers(-500, 501)),
-            "z": int(rng.integers(0, 5_000)),
-        }
-        for x in rng.integers(0, DOMAIN, num_inserts)
-    ]
-    seconds, _ = timed(lambda: sharded.insert_many(rows))
-    insert_rate = round(num_inserts / seconds, 1) if seconds else float("inf")
-
-    engine = QueryEngine(index=sharded)
-    engine.run_batch(stream[: min(BATCH_SIZE, len(stream))], batch_size=BATCH_SIZE)
-    seconds, batched = timed(lambda: engine.run_batch(stream, batch_size=BATCH_SIZE))
-
-    probe = list({q: None for q in stream})[:16]
-    for query in probe:
-        assert sharded.execute(query).value == batched[stream.index(query)].value
-
-    return {
-        "num_rows": num_rows,
-        "pending_inserts": sharded.num_pending,
-        "insert_rows_per_second": insert_rate,
-        "batched": {
-            "queries_per_second": round(len(stream) / seconds, 1),
-            "seconds_total": round(seconds, 4),
-        },
-    }
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "tracker_sharding.json"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small CI scale; exit 1 if sharded batched throughput regresses "
-        "below the single-index baseline",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="JSON output path (default: BENCH_shards.json at the repo root "
-        "in full mode, no file in smoke mode)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        throughput = bench_batched_throughput(
-            num_rows=40_000, num_templates=24, num_queries=2_048, parallelism=NUM_SHARDS
-        )
-        pruning = bench_pruning(num_rows=20_000, num_templates=24)
-        updatable = bench_updatable_shards(
-            num_rows=20_000, num_inserts=2_000, num_templates=24,
-            num_queries=512, parallelism=NUM_SHARDS,
-        )
-    else:
-        throughput = bench_batched_throughput(
-            num_rows=160_000, num_templates=48, num_queries=8_192, parallelism=NUM_SHARDS
-        )
-        pruning = bench_pruning(num_rows=80_000, num_templates=48)
-        updatable = bench_updatable_shards(
-            num_rows=80_000, num_inserts=8_000, num_templates=48,
-            num_queries=2_048, parallelism=NUM_SHARDS,
-        )
-
-    report = {
-        "benchmark": "sharded serving layer throughput",
-        "mode": "smoke" if args.smoke else "full",
-        "batched_throughput": throughput,
-        "pruning": pruning,
-        "updatable_shards": updatable,
-    }
-    print(json.dumps(report, indent=2))
-
-    output = args.output
-    if output is None and not args.smoke:
-        output = REPO_ROOT / "BENCH_shards.json"
-    if output is not None:
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {output}", file=sys.stderr)
-
-    if args.smoke and throughput["sharded_parallel_vs_single"] < 1.0:
-        print(
-            "SMOKE FAILURE: sharded-parallel batched throughput regressed below "
-            f"the single-index baseline "
-            f"({throughput['sharded_parallel_vs_single']}x < 1.0x)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return tracker_main(CONFIG, argv, default_output_root=REPO_ROOT)
 
 
 if __name__ == "__main__":

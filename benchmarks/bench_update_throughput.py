@@ -1,19 +1,9 @@
-"""Update-path throughput tracker for the delta-buffered serving pipeline.
+"""Updatable serving path (delta buffer) throughput tracker (thin wrapper).
 
-This benchmark guards the perf trajectory of the updatable serving path:
-
-1. **Insert throughput** — rows/sec of the vectorized columnar
-   ``insert_many`` vs a per-row ``insert`` loop into the same
-   :class:`DeltaBufferedIndex` (the acceptance bar is >= 10x at full scale).
-2. **Query throughput with pending inserts** — queries/sec of a zipf-skewed
-   stream served through ``QueryEngine`` over a delta index holding pending
-   inserts, unbatched vs batched, against the read-only index as the
-   reference ceiling.
-3. **Merge cost** — folding the pending buffer into the main index
-   (rows/sec merged and the rebuild seconds).
-4. **Lifecycle loop** — a drifting stream served through
-   :class:`LifecycleManager`, recording its report (windows observed, drifts,
-   merges, incremental re-optimizations).
+The measurement body lives in :mod:`repro.bench.trackers` (tracker
+``updates``) and the scales/seeds in
+``benchmarks/configs/tracker_updates.json``; this script only preserves the
+historical entry point.
 
 Run from the repository root::
 
@@ -22,290 +12,25 @@ Run from the repository root::
 
 The full mode writes ``BENCH_updates.json`` at the repository root (the smoke
 run only when ``--output`` is passed explicitly).  The smoke mode exits
-non-zero if batched delta-path queries regress below the unbatched path.
+non-zero when batched delta-path queries are slower than the unbatched path.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.trackers import tracker_main
 
-from repro.core.delta import DeltaBufferedIndex
-from repro.core.lifecycle import LifecycleConfig, LifecycleManager
-from repro.core.tsunami import TsunamiConfig, TsunamiIndex
-from repro.query.engine import QueryEngine
-from repro.query.query import Query
-from repro.query.workload import Workload
-from repro.storage.table import Table
-
-BATCH_SIZE = 256
-
-
-def make_dataset(num_rows: int, seed: int = 23) -> Table:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, 100_000, num_rows)
-    y = x * 3 + rng.integers(-500, 501, num_rows)
-    z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays("updates", {"x": x, "y": y, "z": z})
-
-
-def make_insert_rows(count: int, seed: int = 24) -> list[dict]:
-    rng = np.random.default_rng(seed)
-    x = rng.integers(0, 100_000, count)
-    y = x * 3 + rng.integers(-500, 501, count)
-    z = rng.integers(0, 5_000, count)
-    return [
-        {"x": int(xi), "y": int(yi), "z": int(zi)}
-        for xi, yi, zi in zip(x, y, z)
-    ]
-
-
-def make_skewed_stream(
-    num_templates: int, num_queries: int, seed: int = 25
-) -> tuple[Workload, list[Query]]:
-    """Template pool + zipf-repeated serving stream (the PR 2 batching regime)."""
-    rng = np.random.default_rng(seed)
-    templates = []
-    for _ in range(num_templates):
-        x_low = int(rng.integers(0, 90_000))
-        templates.append(
-            Query.from_ranges(
-                {
-                    "x": (x_low, x_low + int(rng.integers(500, 5_000))),
-                    "z": (0, int(rng.integers(500, 4_000))),
-                }
-            )
-        )
-    draws = rng.zipf(1.2, size=num_queries) - 1
-    stream = [templates[int(d) % num_templates] for d in draws]
-    return Workload(templates, name="templates"), stream
-
-
-def tsunami_factory(optimizer_iterations: int = 2):
-    return lambda: TsunamiIndex(TsunamiConfig(optimizer_iterations=optimizer_iterations))
-
-
-def bench_inserts(num_rows: int, num_inserts: int) -> dict:
-    """Vectorized insert_many vs a per-row insert loop (no merges in between)."""
-    rows = make_insert_rows(num_inserts)
-    results: dict = {"num_rows": num_rows, "num_inserts": num_inserts}
-
-    for mode in ("per_row", "vectorized"):
-        index = DeltaBufferedIndex(
-            tsunami_factory(1), merge_threshold=10 * num_inserts
-        )
-        index.build(make_dataset(num_rows), None)
-        start = time.perf_counter()
-        if mode == "per_row":
-            for row in rows:
-                index.insert(row)
-        else:
-            index.insert_many(rows)
-        elapsed = time.perf_counter() - start
-        assert index.num_pending == num_inserts
-        results[mode] = {
-            "seconds_total": round(elapsed, 6),
-            "rows_per_second": round(num_inserts / elapsed, 1),
-        }
-    results["speedup"] = round(
-        results["vectorized"]["rows_per_second"] / results["per_row"]["rows_per_second"], 2
-    )
-    return results
-
-
-def bench_queries_with_pending(
-    num_rows: int, num_inserts: int, num_templates: int, num_queries: int
-) -> tuple[dict, DeltaBufferedIndex]:
-    """Serving throughput with a hot buffer: unbatched vs batched vs read-only.
-
-    Returns the result dict plus the still-unmerged index so ``bench_merge``
-    can measure folding that same buffer in.
-    """
-    templates, stream = make_skewed_stream(num_templates, num_queries)
-
-    read_only = TsunamiIndex(TsunamiConfig(optimizer_iterations=2))
-    read_only.build(make_dataset(num_rows), templates)
-    read_only_engine = QueryEngine(index=read_only)
-
-    delta = DeltaBufferedIndex(tsunami_factory(2), merge_threshold=10 * num_inserts)
-    delta.build(make_dataset(num_rows), templates)
-    delta.insert_many(make_insert_rows(num_inserts))
-    delta_engine = QueryEngine(index=delta)
-
-    results: dict = {
-        "num_rows": num_rows,
-        "pending_inserts": delta.num_pending,
-        "num_templates": num_templates,
-        "num_queries": num_queries,
-        "batch_size": BATCH_SIZE,
-    }
-
-    def timed(run) -> tuple[float, list]:
-        start = time.perf_counter()
-        outcomes = run()
-        return time.perf_counter() - start, outcomes
-
-    # Warm both serving paths (plan caches persist across batches in a real
-    # server) so the read-only ceiling and the delta paths compare fairly.
-    warmup = stream[: min(BATCH_SIZE, len(stream))]
-    read_only_engine.run_batch(warmup, batch_size=BATCH_SIZE)
-    delta_engine.run_batch(warmup, batch_size=BATCH_SIZE)
-
-    seconds, read_only_results = timed(
-        lambda: read_only_engine.run_batch(stream, batch_size=BATCH_SIZE)
-    )
-    results["read_only_batched"] = {
-        "queries_per_second": round(len(stream) / seconds, 1),
-        "seconds_total": round(seconds, 4),
-    }
-
-    seconds, unbatched_results = timed(lambda: [delta_engine.run(q) for q in stream])
-    results["delta_unbatched"] = {
-        "queries_per_second": round(len(stream) / seconds, 1),
-        "seconds_total": round(seconds, 4),
-    }
-
-    seconds, batched_results = timed(
-        lambda: delta_engine.run_batch(stream, batch_size=BATCH_SIZE)
-    )
-    results["delta_batched"] = {
-        "queries_per_second": round(len(stream) / seconds, 1),
-        "seconds_total": round(seconds, 4),
-    }
-
-    for single, batched in zip(unbatched_results, batched_results):
-        assert single.value == batched.value, "batched delta path diverged"
-
-    results["batch_speedup"] = round(
-        results["delta_batched"]["queries_per_second"]
-        / results["delta_unbatched"]["queries_per_second"],
-        2,
-    )
-    results["delta_batched_vs_read_only"] = round(
-        results["delta_batched"]["queries_per_second"]
-        / results["read_only_batched"]["queries_per_second"],
-        3,
-    )
-    return results, delta
-
-
-def bench_merge(delta: DeltaBufferedIndex) -> dict:
-    """Cost of folding the pending buffer into the main index."""
-    pending = delta.num_pending
-    start = time.perf_counter()
-    report = delta.merge()
-    elapsed = time.perf_counter() - start
-    if report is None:
-        return {"rows_merged": 0}
-    return {
-        "rows_merged": report.rows_merged,
-        "rebuild_seconds": round(report.rebuild_seconds, 4),
-        "merge_seconds_total": round(elapsed, 4),
-        "rows_per_second": round(pending / elapsed, 1),
-        "total_rows_after": report.total_rows,
-    }
-
-
-def bench_lifecycle(num_rows: int, num_queries: int) -> dict:
-    """A drifting stream served through the lifecycle loop, report recorded."""
-    rng = np.random.default_rng(29)
-    templates, stream = make_skewed_stream(16, num_queries // 2)
-    index = DeltaBufferedIndex(tsunami_factory(1), merge_threshold=10 * num_rows)
-    index.build(make_dataset(num_rows), templates)
-    manager = LifecycleManager(
-        index, LifecycleConfig(observe_window=128, merge_pressure=0.05)
-    )
-
-    # Phase 1: the fitted workload. Phase 2: inserts plus a drifted workload
-    # (novel wide single-dimension scans) that should trip the loop.
-    drifted = [
-        Query.from_ranges(
-            {"y": (int(low := rng.integers(0, 60_000)), int(low) + 180_000)}
-        )
-        for _ in range(num_queries - len(stream))
-    ]
-    start = time.perf_counter()
-    manager.run_batch(stream)
-    manager.insert_many(make_insert_rows(max(num_rows // 10, 64), seed=30))
-    manager.run_batch(drifted)
-    elapsed = time.perf_counter() - start
-    report = manager.report().as_dict()
-    report["events"] = report["events"][:20]  # keep the JSON bounded
-    return {
-        "num_rows": num_rows,
-        "num_queries": num_queries,
-        "seconds_total": round(elapsed, 4),
-        "report": report,
-    }
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "tracker_updates.json"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small CI scale; exit 1 if the batched delta path is slower "
-        "than the unbatched path",
-    )
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=None,
-        help="JSON output path (default: BENCH_updates.json at the repo root "
-        "in full mode, no file in smoke mode)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        inserts = bench_inserts(num_rows=20_000, num_inserts=20_000)
-        queries, delta = bench_queries_with_pending(
-            num_rows=20_000, num_inserts=2_000, num_templates=24, num_queries=1024
-        )
-        merge = bench_merge(delta)
-        lifecycle = bench_lifecycle(num_rows=10_000, num_queries=512)
-    else:
-        inserts = bench_inserts(num_rows=80_000, num_inserts=100_000)
-        queries, delta = bench_queries_with_pending(
-            num_rows=80_000, num_inserts=8_000, num_templates=48, num_queries=4096
-        )
-        merge = bench_merge(delta)
-        lifecycle = bench_lifecycle(num_rows=40_000, num_queries=2048)
-
-    report = {
-        "benchmark": "updatable serving path (delta buffer) throughput",
-        "mode": "smoke" if args.smoke else "full",
-        "inserts": inserts,
-        "queries_with_pending_inserts": queries,
-        "merge": merge,
-        "lifecycle": lifecycle,
-    }
-    print(json.dumps(report, indent=2))
-
-    output = args.output
-    if output is None and not args.smoke:
-        output = REPO_ROOT / "BENCH_updates.json"
-    if output is not None:
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"\nwrote {output}", file=sys.stderr)
-
-    if args.smoke and queries["batch_speedup"] < 1.0:
-        print(
-            f"SMOKE FAILURE: batched delta-path queries are slower than the "
-            f"unbatched path (speedup {queries['batch_speedup']}x < 1.0x)",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    return tracker_main(CONFIG, argv, default_output_root=REPO_ROOT)
 
 
 if __name__ == "__main__":

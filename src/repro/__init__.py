@@ -22,6 +22,7 @@ from repro.common import (
     ReproError,
     SchemaError,
     QueryError,
+    ConfigError,
     IndexBuildError,
     OptimizationError,
     ServingError,
@@ -87,12 +88,13 @@ from repro.serve import (
     ServingFrontend,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReproError",
     "SchemaError",
     "QueryError",
+    "ConfigError",
     "IndexBuildError",
     "OptimizationError",
     "ServingError",

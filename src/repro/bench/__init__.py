@@ -5,6 +5,16 @@ tables and figures.
 * :mod:`repro.bench.report` — plain-text table and series formatting.
 * :mod:`repro.bench.experiments` — one driver per paper table/figure; the
   ``benchmarks/`` directory calls straight into these.
+* :mod:`repro.bench.scenario` — the declarative config schema behind
+  ``benchmarks/configs/`` (scenario / tracker / figure kinds).
+* :mod:`repro.bench.workloads` — materializes a scenario's dataset, template
+  pools, serving stream, and write schedule from its seed.
+* :mod:`repro.bench.runner` — :class:`ScenarioRunner`: drives every configured
+  index through the serving stack and emits a schema-versioned report.
+* :mod:`repro.bench.trackers` — the five serving perf trackers (the thin
+  ``benchmarks/bench_*.py`` wrappers call these).
+* :mod:`repro.bench.cli` — ``python -m repro.bench.cli`` (experiments plus the
+  ``run`` / ``validate`` / ``smoke`` config subcommands).
 """
 
 from repro.bench.harness import (
@@ -16,6 +26,17 @@ from repro.bench.harness import (
     tune_page_size,
 )
 from repro.bench.report import format_table, format_series, relative_factors
+from repro.bench.scenario import (
+    DatasetConfig,
+    FigureConfig,
+    IndexConfig,
+    ScenarioConfig,
+    TrackerConfig,
+    WorkloadConfig,
+    load_config,
+    parse_config,
+    validate_directory,
+)
 
 __all__ = [
     "IndexMeasurement",
@@ -27,4 +48,13 @@ __all__ = [
     "format_table",
     "format_series",
     "relative_factors",
+    "DatasetConfig",
+    "FigureConfig",
+    "IndexConfig",
+    "ScenarioConfig",
+    "TrackerConfig",
+    "WorkloadConfig",
+    "load_config",
+    "parse_config",
+    "validate_directory",
 ]

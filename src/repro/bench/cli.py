@@ -1,11 +1,26 @@
-"""Command-line entry point for regenerating individual paper experiments.
+"""Command-line entry point for the benchmark subsystem.
 
-Usage::
+Two families of commands share this module.  The original experiment
+regeneration interface::
 
     python -m repro.bench.cli --list
     python -m repro.bench.cli table3 table4
     python -m repro.bench.cli fig7 --rows 100000 --queries 50
     python -m repro.bench.cli all --rows 40000
+
+and the config-driven scenario harness (PR 8)::
+
+    python -m repro.bench.cli run benchmarks/configs/scenario_point_lookups.json
+    python -m repro.bench.cli run benchmarks/configs/tracker_updates.json --mode smoke
+    python -m repro.bench.cli validate benchmarks/configs
+    python -m repro.bench.cli smoke --configs benchmarks/configs --reports reports/
+
+``run`` executes one config (scenario, tracker, or figure) and prints its
+schema-versioned JSON report; a report with violations (or a tracker smoke
+gate failure) exits non-zero.  ``validate`` type-checks every config in a
+directory without running anything.  ``smoke`` is the CI entry point: it runs
+every smoke-tagged config in a directory, writes one report file per config,
+and fails if any config fails its gates.
 
 Each experiment prints the same plain-text table the corresponding benchmark
 in ``benchmarks/`` asserts on, so the CLI is the quickest way to regenerate a
@@ -15,10 +30,14 @@ single figure without running pytest.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.bench import experiments as exp
 from repro.bench import extensions as ext
+from repro.common.errors import ConfigError
 
 #: Experiment name -> (driver, description).
 EXPERIMENTS: dict[str, tuple[Callable[..., exp.ExperimentResult], str]] = {
@@ -101,8 +120,179 @@ def run_experiment(name: str, rows: int | None, queries: int | None) -> exp.Expe
     return driver(**kwargs)
 
 
+# ---------------------------------------------------------------------------
+# Config-driven subcommands (run / validate / smoke)
+# ---------------------------------------------------------------------------
+
+_SUBCOMMANDS = ("run", "validate", "smoke")
+
+
+def _run_figure(config, mode: str) -> dict:
+    """Run a figure config's experiment driver; the plain-text table goes to
+    stdout and the returned report carries it for the archive."""
+    kwargs = dict(config.params)
+    name = config.experiment
+    if config.num_rows is not None and name in _ROWS_KWARG:
+        kwargs[_ROWS_KWARG[name]] = config.num_rows
+    if config.queries_per_type is not None and name not in _NO_QUERIES_KWARG:
+        kwargs["queries_per_type"] = config.queries_per_type
+    driver, _ = EXPERIMENTS[name]
+    result = driver(**kwargs)
+    print(result)
+    return {
+        "schema_version": 1,
+        "kind": "figure",
+        "name": config.name,
+        "experiment": config.experiment,
+        "mode": mode,
+        "result": {"name": result.name, "report": result.report, "data": result.data},
+        "violations": [],
+        "ok": True,
+    }
+
+
+def _run_config(config, mode: str, seed: int | None) -> tuple[dict, list[str]]:
+    """Execute one parsed config; returns (report, gate failures)."""
+    from repro.bench.runner import run_scenario
+    from repro.bench.scenario import FigureConfig, ScenarioConfig, TrackerConfig
+    from repro.bench.trackers import run_tracker
+
+    if isinstance(config, ScenarioConfig):
+        report = run_scenario(config)
+        return report, list(report["violations"])
+    if isinstance(config, TrackerConfig):
+        report, failures = run_tracker(config, mode=mode, seed=seed)
+        return report, failures
+    if isinstance(config, FigureConfig):
+        return _run_figure(config, mode), []
+    raise ConfigError(f"cannot run config of type {type(config).__name__}")
+
+
+def _write_report(report: dict, output: Path) -> None:
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+
+def _cmd_run(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench run", description="Run one benchmark config."
+    )
+    parser.add_argument("config", type=Path, help="path to a *.json config")
+    parser.add_argument(
+        "--mode",
+        choices=("smoke", "full"),
+        default="full",
+        help="tracker scale to run (scenario/figure configs run as written)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the config's seed (trackers)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.scenario import load_config
+
+    config = load_config(args.config)
+    report, failures = _run_config(config, args.mode, args.seed)
+    print(json.dumps(report, indent=2, default=str))
+    if args.output is not None:
+        _write_report(report, args.output)
+    for failure in failures:
+        print(f"FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_validate(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench validate",
+        description="Schema-check every config in a directory.",
+    )
+    parser.add_argument(
+        "configs",
+        type=Path,
+        nargs="?",
+        default=Path("benchmarks/configs"),
+        help="config directory (default: benchmarks/configs)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.scenario import discover_configs, load_config
+
+    failures = 0
+    for path in discover_configs(args.configs):
+        try:
+            config = load_config(path)
+        except ConfigError as exc:
+            print(f"INVALID {path.name}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        kind = type(config).__name__.removesuffix("Config").lower()
+        print(f"ok {path.name:40s} kind={kind} name={config.name}")
+    if failures:
+        print(f"{failures} invalid config(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_smoke(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench smoke",
+        description="Run every smoke-tagged config in a directory (the CI matrix).",
+    )
+    parser.add_argument(
+        "--configs",
+        type=Path,
+        default=Path("benchmarks/configs"),
+        help="config directory (default: benchmarks/configs)",
+    )
+    parser.add_argument(
+        "--reports",
+        type=Path,
+        default=None,
+        help="directory to write one <name>.json report per config",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.scenario import load_config, discover_configs
+
+    failed: list[str] = []
+    ran = 0
+    for path in discover_configs(args.configs):
+        config = load_config(path)
+        if not config.smoke:
+            continue
+        ran += 1
+        print(f"=== {path.name} ===", file=sys.stderr)
+        try:
+            report, failures = _run_config(config, "smoke", None)
+        except Exception as exc:  # a crash must fail CI, not abort the matrix
+            print(f"FAIL {path.name}: {exc!r}", file=sys.stderr)
+            failed.append(path.name)
+            continue
+        if args.reports is not None:
+            _write_report(report, args.reports / f"{config.name}.json")
+        if failures:
+            for failure in failures:
+                print(f"FAIL {path.name}: {failure}", file=sys.stderr)
+            failed.append(path.name)
+        else:
+            print(f"PASS {path.name}", file=sys.stderr)
+    print(
+        f"smoke matrix: {ran - len(failed)}/{ran} configs passed", file=sys.stderr
+    )
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SUBCOMMANDS:
+        handler = {"run": _cmd_run, "validate": _cmd_validate, "smoke": _cmd_smoke}
+        return handler[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -12,6 +12,7 @@ from repro.common.errors import (
     ReproError,
     SchemaError,
     QueryError,
+    ConfigError,
     IndexBuildError,
     OptimizationError,
     ServingError,
@@ -38,6 +39,7 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "QueryError",
+    "ConfigError",
     "IndexBuildError",
     "OptimizationError",
     "ServingError",

@@ -45,6 +45,10 @@ class QueryError(ReproError):
     """A query references unknown dimensions or uses an invalid predicate."""
 
 
+class ConfigError(ReproError):
+    """A scenario/benchmark configuration file is malformed or inconsistent."""
+
+
 class IndexBuildError(ReproError):
     """An index could not be built from the supplied data and workload."""
 

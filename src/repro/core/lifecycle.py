@@ -205,6 +205,20 @@ class LifecycleManager:
         self._observe(queries)
         return results
 
+    def observe(self, queries: Sequence[Query]) -> None:
+        """Feed queries into drift observation without executing them.
+
+        Serving layers that answer queries from a result cache call this for
+        their cache hits: the query never reaches :meth:`run_batch`, but the
+        drift detector must still see it, or a hot set served mostly from
+        cache could drift away unnoticed.  Cheap (no index execution) and
+        subject to the same windowing — a full window may trigger the same
+        maintenance a served window would.
+        """
+        queries = list(queries)
+        if queries:
+            self._observe(queries)
+
     def insert(self, row) -> None:
         """Insert one row, merging if buffer pressure demands it."""
         self.index.insert(row)

@@ -38,7 +38,9 @@ The backend is anything with ``run_batch(queries) -> list[QueryResult]``:
 a :class:`~repro.query.engine.QueryEngine` (read-only or wrapping a
 :class:`~repro.core.sharding.ShardedIndex` / delta index) or a
 :class:`~repro.core.lifecycle.LifecycleManager` (which also observes served
-queries for drift).  Writes (:meth:`insert` / :meth:`insert_many`) are
+queries for drift — including cache hits, which never reach ``run_batch``
+but are queued and flushed into the backend's ``observe`` hook so a hot set
+answered mostly from cache still counts toward drift detection).  Writes (:meth:`insert` / :meth:`insert_many`) are
 forwarded to the backend when it supports them and serialized against
 in-flight batches, so a batch never executes against a half-applied write.
 
@@ -136,6 +138,7 @@ class ServingStats:
     queries_submitted: int = 0
     queries_served: int = 0
     cache_hits: int = 0
+    observed_cache_hits: int = 0
     rejections: int = 0
     write_batches: int = 0
     rows_inserted: int = 0
@@ -152,6 +155,7 @@ class ServingStats:
             "queries_submitted": self.queries_submitted,
             "queries_served": self.queries_served,
             "cache_hits": self.cache_hits,
+            "observed_cache_hits": self.observed_cache_hits,
             "rejections": self.rejections,
             "write_batches": self.write_batches,
             "rows_inserted": self.rows_inserted,
@@ -223,6 +227,14 @@ class ServingFrontend:
         # dispatcher thread, read by `quarantine` for observability.
         self._solo_failures: dict[Query, int] = {}
         self._quarantine: set[Query] = set()
+        # Cache hits never reach the backend, but a drift-observing backend
+        # (LifecycleManager) must still see them or a hot set served mostly
+        # from cache drifts unnoticed.  Hits are queued here by client
+        # threads and flushed to backend.observe() by the dispatcher, under
+        # the execution lock — observe() is not required to be thread-safe.
+        self._backend_observe = getattr(backend, "observe", None)
+        self._observed_hits: list[Query] = []
+        self._observed_lock = threading.Lock()
         self._subscribed = False
         if hasattr(backend, "subscribe"):
             backend.subscribe(self._on_lifecycle_event)
@@ -254,6 +266,9 @@ class ServingFrontend:
             cached = self._cache.get(query)
             if cached is not None:
                 self.stats.cache_hits += 1
+                if self._backend_observe is not None:
+                    with self._observed_lock:
+                        self._observed_hits.append(query)
                 return cached
         pending = _PendingQuery(query)
         try:
@@ -373,6 +388,11 @@ class ServingFrontend:
         surfaces as a contained batch failure in the stats.
         """
         with self._exec_lock:
+            # Flush queued cache hits into the backend's drift observer
+            # before the version snapshot: observation may trigger a merge /
+            # reoptimize whose invalidation must fence this batch's cache
+            # fills too.
+            self._flush_observed_hits()
             with self._state_lock:
                 version = self._version
             quarantined = [p for p in batch if p.query in self._quarantine]
@@ -404,6 +424,27 @@ class ServingFrontend:
                 for pending, result in served:
                     self._cache.put(pending.query, result)
         self.stats.queries_served += len(served)
+
+    def _flush_observed_hits(self) -> None:
+        """Hand queued cache-hit queries to the backend's drift observer.
+
+        Called by the dispatcher under ``_exec_lock`` (and once more at
+        shutdown), so ``backend.observe`` never races ``run_batch`` on the
+        same backend.  A failing observer is contained: drift observation is
+        advisory and must never fail a serving batch.
+        """
+        if self._backend_observe is None:
+            return
+        with self._observed_lock:
+            hits, self._observed_hits = self._observed_hits, []
+        if not hits:
+            return
+        try:
+            self._backend_observe(hits)
+        except Exception:
+            self.stats.batch_failures += 1
+        else:
+            self.stats.observed_cache_hits += len(hits)
 
     def _run_backend(self, queries: list[Query]) -> list[QueryResult]:
         """One backend call, with the ``frontend.batch`` fault-injection site."""
@@ -511,6 +552,10 @@ class ServingFrontend:
             self._closed = True
         self._batcher.close()
         self._dispatcher.join()
+        # The dispatcher is gone; flush any cache hits it never got to
+        # observe while the backend is still open.
+        with self._exec_lock:
+            self._flush_observed_hits()
         if self._subscribed and hasattr(self.backend, "unsubscribe"):
             self.backend.unsubscribe(self._on_lifecycle_event)
             self._subscribed = False

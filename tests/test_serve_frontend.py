@@ -340,3 +340,61 @@ class TestLifecycleSubscription:
         manager.unsubscribe(events.append)  # unknown listener: ignored
         manager.insert_many(insert_rows(700, seed=29))
         assert len(events) == 1
+
+
+class TestCacheHitObservation:
+    """Cache hits must still feed the backend's drift observer (PR 8).
+
+    The PR 6 cache answered repeated templates without touching the backend,
+    so a LifecycleManager behind the front-end never saw the hottest queries
+    and its drift windows starved exactly when caching worked best.
+    """
+
+    def test_cache_hits_reach_lifecycle_observer(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=100_000)
+        index.build(fresh_table, fresh_workload)
+        manager = LifecycleManager(
+            index, LifecycleConfig(observe_window=64, reoptimize_on_drift=False)
+        )
+        query = list(fresh_workload)[0]
+        with ServingFrontend(manager, small_config()) as frontend:
+            for _ in range(260):
+                frontend.query(query)
+            # Only the cache misses executed, but every hit was observed:
+            # submissions = backend executions + observed cache hits.
+            frontend.query(query)  # one more round trip flushes stragglers
+        stats = frontend.stats
+        assert stats.cache_hits > 0
+        report = manager.report()
+        observed = stats.observed_cache_hits
+        assert observed > 0
+        assert observed <= stats.cache_hits
+        # The drift windows were fed by cached traffic: far more windows than
+        # the handful of actually-executed queries could ever fill.
+        executed = report.queries_served
+        assert executed + observed >= 64 * report.windows_observed
+        assert report.windows_observed >= (executed + observed) // 64 - 1
+        assert report.windows_observed > executed // 64
+
+    def test_observation_preserves_served_values(self, fresh_table, fresh_workload):
+        index = DeltaBufferedIndex(tsunami_factory, merge_threshold=100_000)
+        index.build(fresh_table, fresh_workload)
+        manager = LifecycleManager(index, LifecycleConfig(observe_window=32))
+        queries = list(fresh_workload)[:8]
+        expected = [index.execute(q).value for q in queries]
+        stream = zipf_stream(queries, 500, seed=9)
+        with ServingFrontend(manager, small_config()) as frontend:
+            results = serve_concurrently(frontend, stream)
+            observed = frontend.stats.observed_cache_hits
+        for query, result in zip(stream, results):
+            assert result.value == expected[queries.index(query)]
+        assert observed > 0
+
+    def test_engine_backend_has_no_observer(self, fresh_table, fresh_workload):
+        index = tsunami_factory().build(fresh_table, fresh_workload)
+        query = list(fresh_workload)[0]
+        with ServingFrontend(QueryEngine(index), small_config()) as frontend:
+            for _ in range(20):
+                frontend.query(query)
+            assert frontend.stats.cache_hits > 0
+            assert frontend.stats.observed_cache_hits == 0
