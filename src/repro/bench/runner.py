@@ -300,6 +300,8 @@ class ScenarioRunner:
 
         points = sum(outcome.stats.points_scanned for outcome in outcomes)
         ranges = sum(outcome.stats.cell_ranges for outcome in outcomes)
+        values_scanned = sum(outcome.stats.values_scanned for outcome in outcomes)
+        bytes_scanned = sum(outcome.stats.bytes_scanned for outcome in outcomes)
         num_queries = max(len(outcomes), 1)
         result = {
             "index": index_config.name,
@@ -309,8 +311,16 @@ class ScenarioRunner:
             "num_queries": len(outcomes),
             "seconds_total": round(elapsed, 4),
             "queries_per_second": round(len(outcomes) / elapsed, 1) if elapsed else 0.0,
+            "rows_scanned_per_sec": round(points / elapsed, 1) if elapsed else 0.0,
             "avg_points_scanned": round(points / num_queries, 1),
             "avg_cell_ranges": round(ranges / num_queries, 2),
+            "values_scanned": values_scanned,
+            "bytes_scanned": bytes_scanned,
+            # Machine-independent compression headline: an all-int64 scan sits
+            # at exactly 8.0 bytes per value read.
+            "bytes_per_value_scanned": (
+                round(bytes_scanned / values_scanned, 3) if values_scanned else None
+            ),
             "rows_inserted": rows_inserted,
             "correct": mismatches == 0 if self.config.verify else None,
             "mismatches": mismatches if self.config.verify else None,
@@ -348,6 +358,9 @@ class ScenarioRunner:
                 "num_queries": len(data.stream),
                 "num_templates": len(data.build_workload),
                 "write_events": len(data.writes),
+                # Storage footprint + per-column dtype breakdown, so the
+                # narrow-dtype compression ratio shows in every artifact.
+                "table": data.table.describe(),
                 "indexes": [
                     self._measure(index_config, data)
                     for index_config in self.config.indexes
@@ -394,6 +407,25 @@ class ScenarioRunner:
                         f"{entry['queries_per_second']} qps, below the "
                         f"{thresholds.min_queries_per_second} qps floor"
                     )
+                if (
+                    thresholds.max_bytes_per_value is not None
+                    and entry.get("bytes_per_value_scanned") is not None
+                    and entry["bytes_per_value_scanned"] > thresholds.max_bytes_per_value
+                ):
+                    violations.append(
+                        f"{label}: {entry['index']} scanned "
+                        f"{entry['bytes_per_value_scanned']} bytes per value, above "
+                        f"the {thresholds.max_bytes_per_value} ceiling "
+                        "(int64 baseline is 8.0)"
+                    )
+            if thresholds.max_table_bytes_per_value is not None:
+                footprint = cell["table"]["bytes_per_value"]
+                if footprint is not None and footprint > thresholds.max_table_bytes_per_value:
+                    violations.append(
+                        f"{label}: table stores {footprint} bytes per value, above "
+                        f"the {thresholds.max_table_bytes_per_value} ceiling "
+                        "(all-int64 baseline is 8.0)"
+                    )
             if thresholds.speedup_of is not None and thresholds.speedup_over is not None:
                 fast = by_name[thresholds.speedup_of]["queries_per_second"]
                 slow = by_name[thresholds.speedup_over]["queries_per_second"]
@@ -418,14 +450,16 @@ _REPORT_KEYS = (
     "ok",
 )
 
-_RESULT_KEYS = ("num_dimensions", "num_rows", "num_queries", "indexes")
+_RESULT_KEYS = ("num_dimensions", "num_rows", "num_queries", "table", "indexes")
 
 _INDEX_KEYS = (
     "index",
     "kind",
     "variant",
     "queries_per_second",
+    "rows_scanned_per_sec",
     "avg_points_scanned",
+    "bytes_scanned",
     "correct",
 )
 

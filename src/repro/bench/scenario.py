@@ -336,6 +336,11 @@ class ThresholdsConfig:
     speedup_of: str | None = None
     speedup_over: str | None = None
     min_speedup: float = 1.0
+    #: Gate: bytes scanned per value read must stay at or below this ceiling
+    #: (an all-int64 scan sits at exactly 8.0; 4.0 enforces a 2x dtype win).
+    max_bytes_per_value: float | None = None
+    #: Gate: table footprint in bytes per stored value (all-int64 is 8.0).
+    max_table_bytes_per_value: float | None = None
 
     def validate(self, index_names: Sequence[str]) -> None:
         if self.speedup_of is not None or self.speedup_over is not None:
@@ -345,6 +350,16 @@ class ThresholdsConfig:
                 f"indexes {list(index_names)}",
             )
             _require(self.min_speedup > 0, "thresholds.min_speedup must be > 0")
+        if self.max_bytes_per_value is not None:
+            _require(
+                self.max_bytes_per_value > 0,
+                "thresholds.max_bytes_per_value must be > 0",
+            )
+        if self.max_table_bytes_per_value is not None:
+            _require(
+                self.max_table_bytes_per_value > 0,
+                "thresholds.max_table_bytes_per_value must be > 0",
+            )
 
 
 @dataclass(frozen=True)
@@ -522,6 +537,8 @@ class ScenarioConfig:
                     "speedup_of",
                     "speedup_over",
                     "min_speedup",
+                    "max_bytes_per_value",
+                    "max_table_bytes_per_value",
                 ],
             )
             thresholds = ThresholdsConfig(**thresholds_raw)

@@ -77,13 +77,19 @@ RECOVERY_FLOOR = 0.6
 # ---------------------------------------------------------------------------
 
 
-def make_linear_dataset(name: str, num_rows: int, seed: int) -> Table:
-    """The serving trackers' skewed dataset: x uniform, y = 3x + noise, z small."""
+def make_linear_dataset(
+    name: str, num_rows: int, seed: int, *, narrow: bool = True
+) -> Table:
+    """The serving trackers' skewed dataset: x uniform, y = 3x + noise, z small.
+
+    ``narrow=False`` forces every column to stay ``int64`` — the storage
+    baseline the throughput tracker's bytes-scanned gate compares against.
+    """
     rng = np.random.default_rng(seed)
     x = rng.integers(0, DOMAIN, num_rows)
     y = x * 3 + rng.integers(-500, 501, num_rows)
     z = rng.integers(0, 5_000, num_rows)
-    return Table.from_arrays(name, {"x": x, "y": y, "z": z})
+    return Table.from_arrays(name, {"x": x, "y": y, "z": z}, narrow=narrow)
 
 
 #: Template placement styles: (x_low high, width low/high, z low/high).
@@ -250,6 +256,8 @@ def bench_execution(num_rows: int, num_templates: int, num_queries: int) -> dict
         "num_queries": num_queries,
         "batch_size": BATCH_SIZE,
     }
+    narrow_values: list[float] = []
+    narrow_batched: dict = {}
     for planner in ("reference", "vectorized"):
         set_planner(index, planner)
         planner_results = {}
@@ -267,13 +275,24 @@ def bench_execution(num_rows: int, num_templates: int, num_queries: int) -> dict
             cache_stats = index.plan_cache_stats()
             planner_results[f"batch_{batch}"] = {
                 "queries_per_second": round(len(stream) / elapsed, 1),
+                "rows_scanned_per_sec": round(total.points_scanned / elapsed, 1),
                 "seconds_total": round(elapsed, 4),
                 "points_scanned": total.points_scanned,
                 "cell_ranges": total.cell_ranges,
                 "rows_matched": total.rows_matched,
                 "scan_work": total.scan_work,
+                "values_scanned": total.values_scanned,
+                "bytes_scanned": total.bytes_scanned,
                 "plan_cache_hit_rate": round(cache_stats.hit_rate, 4),
             }
+            if planner == "vectorized" and batch == BATCH_SIZE:
+                narrow_values = [outcome.value for outcome in outcomes]
+                narrow_batched = {
+                    "elapsed": elapsed,
+                    "points": total.points_scanned,
+                    "values": total.values_scanned,
+                    "bytes": total.bytes_scanned,
+                }
         planner_results["batch_speedup"] = round(
             planner_results[f"batch_{BATCH_SIZE}"]["queries_per_second"]
             / planner_results["batch_1"]["queries_per_second"],
@@ -285,7 +304,75 @@ def bench_execution(num_rows: int, num_templates: int, num_queries: int) -> dict
         / results["reference"]["batch_1"]["queries_per_second"],
         2,
     )
+    results["storage"] = _bench_storage_baseline(
+        table, templates, stream, narrow_values, narrow_batched
+    )
     return results
+
+
+def _bench_storage_baseline(
+    narrow_table: Table,
+    templates: Workload,
+    stream: list[Query],
+    narrow_values: list[float],
+    narrow_batched: dict,
+) -> dict:
+    """Differential run of the same stream over a forced-``int64`` table.
+
+    Builds the identical index over an un-narrowed copy of the dataset,
+    asserts the answers are bit-identical, and reports both tables' footprint
+    and bytes-scanned so the smoke gate can enforce that fused narrow-dtype
+    scans never read more bytes than the int64 baseline.
+    """
+    int64_table = make_linear_dataset(
+        narrow_table.name, narrow_table.num_rows, seed=13, narrow=False
+    )
+    index = TsunamiIndex(TsunamiConfig(optimizer_iterations=2))
+    index.build(int64_table, templates)
+    engine = QueryEngine(index=index)
+    set_planner(index, "vectorized")
+    total = ScanStats()
+    start = time.perf_counter()
+    outcomes = engine.run_batch(stream, batch_size=BATCH_SIZE)
+    elapsed = time.perf_counter() - start
+    for outcome in outcomes:
+        total.merge(outcome.stats)
+    int64_values = [outcome.value for outcome in outcomes]
+    assert int64_values == narrow_values, "narrow-dtype results diverged from int64"
+
+    def _table_summary(table: Table, elapsed_s: float, points: int, values: int, bytes_: int) -> dict:
+        info = table.describe()
+        return {
+            "table_size_bytes": info["size_bytes"],
+            "table_bytes_per_value": info["bytes_per_value"],
+            "column_dtypes": {col["name"]: col["dtype"] for col in info["columns"]},
+            "points_scanned": points,
+            "values_scanned": values,
+            "bytes_scanned": bytes_,
+            "rows_scanned_per_sec": round(points / elapsed_s, 1),
+        }
+
+    narrow = _table_summary(
+        narrow_table,
+        narrow_batched["elapsed"],
+        narrow_batched["points"],
+        narrow_batched["values"],
+        narrow_batched["bytes"],
+    )
+    baseline = _table_summary(
+        int64_table, elapsed, total.points_scanned, total.values_scanned, total.bytes_scanned
+    )
+    return {
+        "narrow": narrow,
+        "int64": baseline,
+        "results_identical": True,
+        "bytes_scanned_ratio_vs_int64": round(
+            narrow["bytes_scanned"] / max(baseline["bytes_scanned"], 1), 4
+        ),
+        "footprint_ratio_vs_int64": round(
+            narrow["table_size_bytes"] / max(baseline["table_size_bytes"], 1), 4
+        ),
+    }
 
 
 def run_tracker_throughput(scale: dict, mode: str, seed: int | None) -> tuple[dict, list[str]]:
@@ -310,6 +397,17 @@ def run_tracker_throughput(scale: dict, mode: str, seed: int | None) -> tuple[di
         failures.append(
             f"vectorized planner is slower than reference "
             f"(speedup {planning['speedup']}x < 1.0x)"
+        )
+    storage = execution["storage"]
+    if storage["bytes_scanned_ratio_vs_int64"] > 1.0:
+        failures.append(
+            "fused narrow-dtype kernels scanned more bytes than the int64 "
+            f"baseline ({storage['bytes_scanned_ratio_vs_int64']}x > 1.0x)"
+        )
+    if storage["footprint_ratio_vs_int64"] > 1.0:
+        failures.append(
+            "narrow-dtype table footprint exceeds the all-int64 footprint "
+            f"({storage['footprint_ratio_vs_int64']}x > 1.0x)"
         )
     return report, failures
 

@@ -14,11 +14,30 @@ import numpy as np
 from repro.common.errors import SchemaError
 
 
-def ensure_int64_array(values: object, name: str = "values") -> np.ndarray:
-    """Coerce ``values`` to a 1-D ``int64`` array or raise :class:`SchemaError`.
+#: Integer dtypes the column store may narrow to, widest-coverage last.  The
+#: ladder is deterministic: the first dtype whose range covers ``[min, max]``
+#: wins, so the same data always lands on the same physical representation.
+STORAGE_DTYPES: tuple[np.dtype, ...] = tuple(
+    np.dtype(kind) for kind in (np.uint8, np.int16, np.int32, np.int64)
+)
 
-    Floating-point input is accepted only when it is integral (the storage
-    layer requires callers to fixed-point scale floats explicitly).
+
+def narrowest_dtype(minimum: int, maximum: int) -> np.dtype:
+    """Smallest storage dtype whose range covers ``[minimum, maximum]``."""
+    for dtype in STORAGE_DTYPES:
+        info = np.iinfo(dtype)
+        if info.min <= minimum and maximum <= info.max:
+            return dtype
+    return np.dtype(np.int64)
+
+
+def ensure_integral_array(values: object, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to a 1-D integer array or raise :class:`SchemaError`.
+
+    An existing integer dtype is preserved (the column store narrows storage
+    to the smallest dtype covering the value range and must not silently
+    widen it back).  Floating-point input is accepted only when it is
+    integral, and lands on ``int64``.
     """
     array = np.asarray(values)
     if array.ndim != 1:
@@ -35,7 +54,18 @@ def ensure_int64_array(values: object, name: str = "values") -> np.ndarray:
                 "(see repro.storage.scaling)"
             )
         array = rounded
-    return array.astype(np.int64, copy=False)
+    if not np.issubdtype(array.dtype, np.integer):
+        array = array.astype(np.int64, copy=False)
+    return array
+
+
+def ensure_int64_array(values: object, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``int64`` array or raise :class:`SchemaError`.
+
+    Floating-point input is accepted only when it is integral (the storage
+    layer requires callers to fixed-point scale floats explicitly).
+    """
+    return ensure_integral_array(values, name=name).astype(np.int64, copy=False)
 
 
 def ensure_positive(value: float, name: str = "value") -> float:

@@ -54,6 +54,7 @@ from repro.common.errors import IndexBuildError, QueryError, SchemaError
 from repro.query.query import Query
 from repro.query.workload import Workload
 from repro.storage.column import Column
+from repro.storage.kernels import fused_count, fused_max, fused_min, fused_sum
 from repro.storage.scan import ScanStats
 from repro.storage.table import Table
 
@@ -218,22 +219,33 @@ class DeltaBuffer:
         return mask
 
     def scan(self, query: Query) -> BufferScan:
-        """Evaluate ``query`` over the buffer in one pass (see :class:`BufferScan`)."""
+        """Evaluate ``query`` over the buffer in one pass (see :class:`BufferScan`).
+
+        Aggregation goes through the fused kernels: the whole live prefix is
+        reduced under the filter mask without materializing matching rows.
+        The buffer is staging storage and stays ``int64``, so its scan
+        counters charge 8 bytes per value read.
+        """
         stats = ScanStats(dims_accessed=query.num_filtered_dimensions)
         if self._size == 0:
             return BufferScan(0.0, float("nan"), float("nan"), 0, stats)
         stats.points_scanned = self._size
         stats.cell_ranges = 1
-        mask = self.mask_for_filters(query.filters())
-        matched = int(mask.sum())
+        filters = query.filters()
+        stats.values_scanned = self._size * len(filters)
+        stats.bytes_scanned = 8 * stats.values_scanned
+        mask = self.mask_for_filters(filters)
+        matched = fused_count(mask)
         stats.rows_matched = matched
         if matched == 0 or query.aggregate == "count":
             return BufferScan(0.0, float("nan"), float("nan"), matched, stats)
-        target = self._data[query.aggregate_column][: self._size][mask]
+        target = self._data[query.aggregate_column][: self._size]
+        stats.values_scanned += self._size
+        stats.bytes_scanned += 8 * self._size
         return BufferScan(
-            total=float(target.sum()),
-            minimum=float(target.min()),
-            maximum=float(target.max()),
+            total=float(fused_sum(target, mask)),
+            minimum=float(fused_min(target, mask)),
+            maximum=float(fused_max(target, mask)),
             matched=matched,
             stats=stats,
         )
@@ -419,6 +431,11 @@ class DeltaBufferedIndex:
         columns = []
         for name in old_table.column_names:
             source = old_table.column(name)
+            # Concatenating the (possibly narrow) main column with the int64
+            # buffer promotes to int64; the Column constructor then narrows to
+            # the smallest dtype covering the *merged* range.  An insert that
+            # overflows the old narrow dtype therefore widens the column
+            # instead of crashing or wrapping.
             merged_values = np.concatenate([source.values, self._buffer.column(name)])
             columns.append(
                 Column(

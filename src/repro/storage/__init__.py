@@ -4,16 +4,21 @@ The paper evaluates every index on a custom in-memory column store whose
 physical row order is owned by the index (a *clustered* layout).  This
 subpackage reproduces that substrate:
 
-* :class:`~repro.storage.column.Column` — a typed column of 64-bit integers,
-  optionally backed by a string dictionary or a fixed-point float scale.
+* :class:`~repro.storage.column.Column` — a typed integer column stored in the
+  narrowest covering dtype (uint8/int16/int32/int64, see
+  :class:`~repro.storage.column.StorageMeta`), optionally backed by a string
+  dictionary or a fixed-point float scale.
 * :class:`~repro.storage.table.Table` — a named collection of equal-length
   columns plus the clustered reorganization primitive used by every index.
 * :class:`~repro.storage.scan.ScanExecutor` — contiguous range scans with the
-  paper's "exact range" optimization and machine-independent work counters.
+  paper's "exact range" optimization and machine-independent work counters,
+  aggregating through the fused filter→aggregate kernels in
+  :mod:`repro.storage.kernels`.
 """
 
-from repro.storage.column import Column
+from repro.storage.column import Column, StorageMeta
 from repro.storage.dictionary import DictionaryEncoder
+from repro.storage.kernels import fused_count, fused_max, fused_min, fused_sum
 from repro.storage.scaling import FixedPointScaler, scale_to_int64
 from repro.storage.table import Table
 from repro.storage.scan import RowRange, ScanExecutor, ScanStats
@@ -28,7 +33,12 @@ from repro.storage.csv_io import read_csv, write_csv
 
 __all__ = [
     "Column",
+    "StorageMeta",
     "DictionaryEncoder",
+    "fused_count",
+    "fused_max",
+    "fused_min",
+    "fused_sum",
     "FixedPointScaler",
     "scale_to_int64",
     "Table",

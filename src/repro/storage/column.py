@@ -1,25 +1,58 @@
 """A single typed column of the in-memory column store.
 
-All stored values are 64-bit integers (§6.1).  A column remembers how its
-values were produced — directly as integers, via fixed-point scaling of
-floats, or via dictionary encoding of strings — so user-facing values can be
-converted to storage values (for query predicates) and back (for display).
+The user-facing value domain is 64-bit integers (§6.1 of the paper), but the
+physical representation narrows to the smallest integer dtype that covers the
+value range (uint8/int16/int32/int64).  A column remembers how its values were
+produced — directly as integers, via fixed-point scaling of floats, or via
+dictionary encoding of strings — so user-facing values can be converted to
+storage values (for query predicates) and back (for display).  Physical
+storage details live in :class:`StorageMeta`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.common.errors import SchemaError
-from repro.common.validation import ensure_int64_array
+from repro.common.validation import ensure_integral_array, narrowest_dtype
 from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.scaling import FixedPointScaler
 
 
+@dataclass
+class StorageMeta:
+    """Physical storage metadata for one column.
+
+    ``min_value`` / ``max_value`` are ``None`` for empty columns and for
+    columns constructed with ``narrow=False`` where the bounds were never
+    scanned (e.g. zero-copy subset views over memory-mapped files).
+    ``distinct_count`` is filled lazily by :meth:`Column.distinct_count`.
+    """
+
+    dtype: np.dtype
+    min_value: int | None = None
+    max_value: int | None = None
+    distinct_count: int | None = None
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+
 class Column:
-    """An immutable-length, reorderable column of ``int64`` values."""
+    """An immutable-length, reorderable column of integer values.
+
+    With ``narrow=True`` (the default) the stored dtype is the smallest of
+    ``uint8``/``int16``/``int32``/``int64`` covering the value range.  With
+    ``narrow=False`` an existing integer dtype is preserved as-is — used for
+    zero-copy views (subsetting, mmap-backed loads) and for forced-``int64``
+    baseline tables in benchmarks.  Passing a ``meta`` whose dtype matches the
+    input skips the min/max scan entirely, which keeps memory-mapped loads
+    from touching any pages.
+    """
 
     def __init__(
         self,
@@ -27,6 +60,9 @@ class Column:
         values: np.ndarray,
         dictionary: DictionaryEncoder | None = None,
         scaler: FixedPointScaler | None = None,
+        *,
+        narrow: bool = True,
+        meta: StorageMeta | None = None,
     ) -> None:
         if not name:
             raise SchemaError("column name must be a non-empty string")
@@ -35,7 +71,20 @@ class Column:
                 f"column {name!r} cannot be both dictionary-encoded and float-scaled"
             )
         self.name = name
-        self._values = ensure_int64_array(values, name=f"column {name!r}")
+        array = ensure_integral_array(values, name=f"column {name!r}")
+        if meta is not None and np.dtype(meta.dtype) == array.dtype:
+            self._meta = meta
+        elif narrow and array.size:
+            low = int(array.min())
+            high = int(array.max())
+            dtype = narrowest_dtype(low, high)
+            array = array.astype(dtype, copy=False)
+            self._meta = StorageMeta(dtype=dtype, min_value=low, max_value=high)
+        else:
+            if narrow:
+                array = array.astype(np.int64, copy=False)
+            self._meta = StorageMeta(dtype=array.dtype)
+        self._values = array
         self.dictionary = dictionary
         self.scaler = scaler
 
@@ -73,32 +122,68 @@ class Column:
 
     def __repr__(self) -> str:
         kind = "dict" if self.dictionary else ("scaled" if self.scaler else "int")
-        return f"Column(name={self.name!r}, rows={len(self)}, kind={kind})"
+        return (
+            f"Column(name={self.name!r}, rows={len(self)}, kind={kind}, "
+            f"dtype={self.dtype.name})"
+        )
 
     # -- access -------------------------------------------------------------
 
     @property
     def values(self) -> np.ndarray:
-        """The stored ``int64`` values (a read-only view)."""
+        """The stored integer values (a read-only view)."""
         view = self._values.view()
         view.flags.writeable = False
         return view
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Physical storage dtype of the column."""
+        return self._values.dtype
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per stored value."""
+        return int(self._values.dtype.itemsize)
+
+    @property
+    def meta(self) -> StorageMeta:
+        """Physical storage metadata (dtype, bounds, distinct-count cache)."""
+        return self._meta
+
+    @property
+    def is_memory_mapped(self) -> bool:
+        """True when the stored values are backed by a memory-mapped file."""
+        array = self._values
+        return isinstance(array, np.memmap) or isinstance(array.base, np.memmap)
+
     def slice(self, start: int, stop: int) -> np.ndarray:
-        """Return the stored values in the physical row range ``[start, stop)``."""
-        return self._values[start:stop]
+        """Read-only view of the stored values in physical rows ``[start, stop)``."""
+        view = self._values[start:stop]
+        view.flags.writeable = False
+        return view
 
     def min(self) -> int:
         """Minimum stored value (raises on an empty column)."""
         if len(self) == 0:
             raise SchemaError(f"column {self.name!r} is empty")
-        return int(self._values.min())
+        if self._meta.min_value is None:
+            self._meta.min_value = int(self._values.min())
+        return self._meta.min_value
 
     def max(self) -> int:
         """Maximum stored value (raises on an empty column)."""
         if len(self) == 0:
             raise SchemaError(f"column {self.name!r} is empty")
-        return int(self._values.max())
+        if self._meta.max_value is None:
+            self._meta.max_value = int(self._values.max())
+        return self._meta.max_value
+
+    def distinct_count(self) -> int:
+        """Number of distinct stored values (computed once, then cached)."""
+        if self._meta.distinct_count is None:
+            self._meta.distinct_count = int(np.unique(self._values).size)
+        return self._meta.distinct_count
 
     # -- value conversion ----------------------------------------------------
 
@@ -142,7 +227,8 @@ class Column:
         """Physically reorder the column rows by ``permutation``.
 
         This is the primitive used by clustered indexes to own the physical
-        layout; it is the only supported mutation of a column.
+        layout; it is the only supported mutation of a column.  The storage
+        dtype and bounds are unaffected (a permutation is value-preserving).
         """
         permutation = np.asarray(permutation)
         if permutation.shape != (len(self),):
@@ -158,3 +244,19 @@ class Column:
         if self.dictionary is not None:
             total += self.dictionary.size_bytes()
         return total
+
+    def describe(self) -> dict:
+        """Storage breakdown of this column for reports and artifacts."""
+        kind = "dictionary" if self.dictionary else ("scaled" if self.scaler else "int")
+        info = {
+            "name": self.name,
+            "kind": kind,
+            "dtype": self.dtype.name,
+            "num_rows": len(self),
+            "size_bytes": self.size_bytes(),
+        }
+        if len(self):
+            info["min"] = self.min()
+            info["max"] = self.max()
+            info["distinct_count"] = self.distinct_count()
+        return info

@@ -26,6 +26,10 @@ class DictionaryEncoder:
     def __init__(self, values: Iterable[str] = ()) -> None:
         self._value_to_code: dict[str, int] = {}
         self._code_to_value: list[str] = []
+        # Lazily-built arrays backing the vectorized encode/decode paths:
+        # (values sorted lexicographically, their codes in that order, and the
+        # code→value object array).  Invalidated whenever the mapping changes.
+        self._arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         initial = list(values)
         if initial:
             self.fit(initial)
@@ -46,6 +50,7 @@ class DictionaryEncoder:
         distinct = sorted(set(values) | set(self._code_to_value))
         self._code_to_value = distinct
         self._value_to_code = {value: code for code, value in enumerate(distinct)}
+        self._arrays = None
         return self
 
     @classmethod
@@ -80,13 +85,64 @@ class DictionaryEncoder:
             )
         return self._code_to_value[code]
 
+    def _vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arrays backing vectorized encode/decode, built once per mapping.
+
+        Codes are *not* necessarily in sorted value order (workload-aware
+        orderings from :meth:`from_ordered_values`), so the sorted value array
+        carries a parallel sorted-position→code mapping.
+        """
+        if self._arrays is None:
+            values_by_code = np.asarray(self._code_to_value, dtype=object)
+            sortable = np.asarray(self._code_to_value, dtype=np.str_)
+            order = np.argsort(sortable, kind="stable")
+            self._arrays = (
+                sortable[order],
+                order.astype(np.int64),
+                values_by_code,
+            )
+        return self._arrays
+
     def encode(self, values: Sequence[str]) -> np.ndarray:
-        """Encode a sequence of values into an ``int64`` array."""
-        return np.array([self.encode_one(value) for value in values], dtype=np.int64)
+        """Encode a sequence of values into an ``int64`` array.
+
+        Vectorized: one ``searchsorted`` over the sorted distinct values plus
+        a membership check, instead of a per-value Python loop.
+        """
+        batch = np.asarray(list(values), dtype=np.str_)
+        if batch.size == 0:
+            return np.empty(0, dtype=np.int64)
+        sorted_values, sorted_codes, _ = self._vectors()
+        if sorted_values.size == 0:
+            raise SchemaError(f"value {batch[0]!r} is not in the dictionary")
+        positions = np.minimum(
+            np.searchsorted(sorted_values, batch), sorted_values.size - 1
+        )
+        found = sorted_values[positions] == batch
+        if not found.all():
+            missing = str(batch[int(np.argmin(found))])
+            raise SchemaError(f"value {missing!r} is not in the dictionary")
+        return sorted_codes[positions]
 
     def decode(self, codes: Sequence[int]) -> list[str]:
-        """Decode a sequence of codes back into their string values."""
-        return [self.decode_one(int(code)) for code in codes]
+        """Decode a sequence of codes back into their string values.
+
+        Vectorized: a single fancy-index over the code→value object array.
+        """
+        try:
+            batch = np.asarray(codes, dtype=np.int64)
+        except (ValueError, TypeError):
+            batch = np.asarray([int(code) for code in codes], dtype=np.int64)
+        if batch.size == 0:
+            return []
+        out_of_range = (batch < 0) | (batch >= len(self._code_to_value))
+        if out_of_range.any():
+            bad = int(batch[int(np.argmax(out_of_range))])
+            raise SchemaError(
+                f"code {bad} is out of range for dictionary of size {len(self)}"
+            )
+        _, _, values_by_code = self._vectors()
+        return list(values_by_code[batch])
 
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the dictionary."""

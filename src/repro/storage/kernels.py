@@ -1,0 +1,47 @@
+"""Fused filter→aggregate kernels over contiguous column slices.
+
+These compute count/sum/min/max directly from a value slice plus an optional
+boolean selection mask, without ever materializing the selected rows
+(``values[mask]``).  Sums accumulate in ``int64`` explicitly, which is exact
+for every storage dtype the column store narrows to (uint8/int16/int32/int64
+all embed in int64), so results are bit-identical to the materializing path.
+
+``mask=None`` means "every row in the slice is selected" — the exact-range
+case, where the kernel degenerates to a plain slice-level reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fused_count(mask: np.ndarray) -> int:
+    """Number of selected rows in ``mask``."""
+    return int(np.count_nonzero(mask))
+
+
+def fused_sum(values: np.ndarray, mask: np.ndarray | None = None) -> int:
+    """Exact integer sum of the selected values (no row materialization)."""
+    if mask is None:
+        return int(np.sum(values, dtype=np.int64))
+    return int(np.sum(values, where=mask, dtype=np.int64))
+
+
+def fused_min(values: np.ndarray, mask: np.ndarray | None = None) -> int:
+    """Minimum of the selected values.
+
+    The caller must guarantee at least one selected row (the executor checks
+    the fused count first), matching ``values[mask].min()`` semantics.
+    """
+    if mask is None:
+        return int(values.min())
+    initial = np.iinfo(values.dtype).max
+    return int(np.amin(values, where=mask, initial=initial))
+
+
+def fused_max(values: np.ndarray, mask: np.ndarray | None = None) -> int:
+    """Maximum of the selected values (at least one row must be selected)."""
+    if mask is None:
+        return int(values.max())
+    initial = np.iinfo(values.dtype).min
+    return int(np.amax(values, where=mask, initial=initial))

@@ -7,10 +7,14 @@ the clustered table and the optimized index structure, which this module
 provides:
 
 * :func:`save_table` / :func:`load_table` write a
-  :class:`~repro.storage.table.Table` as an ``.npz`` file of column values
-  plus a JSON manifest describing each column's encoding (dictionary values
-  or fixed-point scale), so the table round-trips exactly, including the
-  physical row order a clustered index imposed.
+  :class:`~repro.storage.table.Table` as one raw ``.npy`` file per column
+  (under ``columns/``) plus a JSON manifest describing each column's storage
+  dtype and encoding (dictionary values or fixed-point scale), so the table
+  round-trips exactly — narrow dtypes included — along with the physical row
+  order a clustered index imposed.  Raw ``.npy`` files can be opened with
+  ``mmap_mode="r"``: :func:`load_index` does so by default, so N shard
+  workers (or any number of loaded snapshots of the same table) share pages
+  instead of heap copies.
 * :func:`save_index` / :func:`load_index` snapshot a *built* index.  The
   optimized structure (Grid Tree, Augmented Grids, baselines' trees) is
   pickled; the table it was clustered over is stored with
@@ -54,17 +58,19 @@ import numpy as np
 from repro.baselines.base import ClusteredIndex
 from repro.common import faults
 from repro.common.errors import IndexBuildError, SchemaError
-from repro.storage.column import Column
+from repro.storage.column import Column, StorageMeta
 from repro.storage.dictionary import DictionaryEncoder
 from repro.storage.scaling import FixedPointScaler
 from repro.storage.scan import ScanExecutor
 from repro.storage.table import Table
 
 #: Manifest format version, bumped on any incompatible layout change.
-FORMAT_VERSION = 1
+#: Version 2: per-column raw ``.npy`` files (mmap-shareable) with the storage
+#: dtype recorded in the manifest, replacing the v1 ``columns.npz`` archive.
+FORMAT_VERSION = 2
 
 _TABLE_MANIFEST = "table.json"
-_TABLE_VALUES = "columns.npz"
+_TABLE_COLUMNS_DIR = "columns"
 _INDEX_MANIFEST = "index.json"
 _INDEX_PICKLE = "index.pkl"
 _DELTA_MANIFEST = "delta.json"
@@ -84,14 +90,24 @@ def save_table(table: Table, directory: str | Path) -> Path:
     The directory is created if needed.  Returns the directory path.
     """
     path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
-    arrays = {name: np.asarray(table.values(name)) for name in table.column_names}
-    np.savez_compressed(path / _TABLE_VALUES, **arrays)
+    columns_dir = path / _TABLE_COLUMNS_DIR
+    columns_dir.mkdir(parents=True, exist_ok=True)
 
     columns = []
-    for name in table.column_names:
+    for position, name in enumerate(table.column_names):
         column = table.column(name)
-        entry: dict = {"name": name, "kind": "int"}
+        filename = f"col_{position:03d}.npy"
+        np.save(columns_dir / filename, np.asarray(column.values))
+        entry: dict = {
+            "name": name,
+            "kind": "int",
+            "file": filename,
+            "dtype": column.dtype.name,
+            # Bounds let the loader rebuild StorageMeta without scanning the
+            # values (keeps memory-mapped loads from touching any pages).
+            "min": column.min() if len(column) else None,
+            "max": column.max() if len(column) else None,
+        }
         if column.dictionary is not None:
             entry["kind"] = "dictionary"
             entry["values"] = column.dictionary.values
@@ -110,8 +126,14 @@ def save_table(table: Table, directory: str | Path) -> Path:
     return path
 
 
-def load_table(directory: str | Path) -> Table:
-    """Load a table previously written by :func:`save_table`."""
+def load_table(directory: str | Path, *, mmap_mode: str | None = None) -> Table:
+    """Load a table previously written by :func:`save_table`.
+
+    ``mmap_mode="r"`` opens each column file as a read-only ``np.memmap``
+    instead of reading it into the heap; the manifest's recorded dtype and
+    bounds are attached as :class:`~repro.storage.column.StorageMeta`, so the
+    load touches no data pages.
+    """
     path = Path(directory)
     manifest_path = path / _TABLE_MANIFEST
     if not manifest_path.exists():
@@ -122,23 +144,27 @@ def load_table(directory: str | Path) -> Table:
         raise SchemaError(
             f"unsupported table snapshot version {manifest.get('format_version')!r}"
         )
-    with np.load(path / _TABLE_VALUES) as archive:
-        arrays = {name: np.array(archive[name]) for name in archive.files}
 
     columns = []
     for entry in manifest["columns"]:
         name = entry["name"]
-        if name not in arrays:
+        values_path = path / _TABLE_COLUMNS_DIR / entry["file"]
+        if not values_path.exists():
             raise SchemaError(f"column {name!r} listed in manifest but missing from values")
-        values = arrays[name]
+        values = np.load(values_path, mmap_mode=mmap_mode)
+        meta = StorageMeta(
+            dtype=np.dtype(entry["dtype"]),
+            min_value=entry.get("min"),
+            max_value=entry.get("max"),
+        )
         if entry["kind"] == "dictionary":
             dictionary = DictionaryEncoder.from_ordered_values(entry["values"])
-            columns.append(Column(name, values, dictionary=dictionary))
+            columns.append(Column(name, values, dictionary=dictionary, meta=meta))
         elif entry["kind"] == "scaled":
             scaler = FixedPointScaler(decimals=int(entry["decimals"]))
-            columns.append(Column(name, values, scaler=scaler))
+            columns.append(Column(name, values, scaler=scaler, meta=meta))
         else:
-            columns.append(Column(name, values))
+            columns.append(Column(name, values, meta=meta))
     table = Table(manifest["name"], columns)
     if table.num_rows != manifest["num_rows"]:
         raise SchemaError(
@@ -238,11 +264,11 @@ def _save_delta_index(index, path: Path) -> Path:
     return path
 
 
-def _load_delta_index(path: Path):
+def _load_delta_index(path: Path, mmap_mode: str | None):
     from repro.core.delta import DeltaBuffer, DeltaBufferedIndex
 
     manifest = _read_manifest(path, _DELTA_MANIFEST)
-    wrapped = load_index(path / _DELTA_MAIN_DIR)
+    wrapped = load_index(path / _DELTA_MAIN_DIR, mmap_mode=mmap_mode)
     factory = _load_factory(path) or _fallback_factory(wrapped)
     index = DeltaBufferedIndex(factory, merge_threshold=int(manifest["merge_threshold"]))
     index._index = wrapped
@@ -293,11 +319,14 @@ def _save_sharded_index(index, path: Path) -> Path:
     return path
 
 
-def _load_sharded_index(path: Path):
+def _load_sharded_index(path: Path, mmap_mode: str | None):
     from repro.core.sharding import ShardedIndex
 
     manifest = _read_manifest(path, _SHARDED_MANIFEST)
-    shards = [load_index(path / subdir) for subdir in manifest["shard_dirs"]]
+    shards = [
+        load_index(path / subdir, mmap_mode=mmap_mode)
+        for subdir in manifest["shard_dirs"]
+    ]
     if not shards:
         raise IndexBuildError(f"sharded snapshot in {path} contains no shards")
     factory = _load_factory(path) or _fallback_factory(shards[0])
@@ -389,22 +418,27 @@ def save_index(index, directory: str | Path) -> Path:
     return path
 
 
-def load_index(directory: str | Path):
+def load_index(directory: str | Path, *, mmap_mode: str | None = "r"):
     """Load an index snapshot written by :func:`save_index`, ready to query.
 
     Dispatches on the snapshot layout: sharded and delta snapshots are
     reassembled recursively; plain snapshots unpickle the index structure and
     re-attach the stored table.
+
+    Column data is memory-mapped read-only by default (``mmap_mode="r"``), so
+    concurrent loaders of the same snapshot — shard workers in particular —
+    share the OS page cache instead of materializing private copies.  Pass
+    ``mmap_mode=None`` to read the columns into the heap.
     """
     path = Path(directory)
     if (path / _SHARDED_MANIFEST).exists():
-        return _load_sharded_index(path)
+        return _load_sharded_index(path, mmap_mode)
     if (path / _DELTA_MANIFEST).exists():
-        return _load_delta_index(path)
+        return _load_delta_index(path, mmap_mode)
     pickle_path = path / _INDEX_PICKLE
     if not pickle_path.exists():
         raise IndexBuildError(f"no index snapshot found in {path}")
-    table = load_table(path)
+    table = load_table(path, mmap_mode=mmap_mode)
     with open(pickle_path, "rb") as handle:
         index = pickle.load(handle)
     if not isinstance(index, ClusteredIndex):

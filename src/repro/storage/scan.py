@@ -21,6 +21,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.common.errors import QueryError
+from repro.storage.kernels import fused_count, fused_max, fused_min, fused_sum
 from repro.storage.table import Table
 
 
@@ -46,12 +47,22 @@ class RowRange:
 
 @dataclass
 class ScanStats:
-    """Machine-independent accounting of the work done by one or more scans."""
+    """Machine-independent accounting of the work done by one or more scans.
+
+    ``values_scanned`` counts individual cell values logically read (filter
+    columns per inexact range, plus the aggregate column when one is read);
+    ``bytes_scanned`` weighs the same reads by each column's storage dtype, so
+    an all-``int64`` table scans exactly ``8 * values_scanned`` bytes and any
+    smaller ratio is the narrow-dtype win.  Both are logical counters: batch
+    caches that share physical work do not reduce them.
+    """
 
     points_scanned: int = 0
     cell_ranges: int = 0
     rows_matched: int = 0
     dims_accessed: int = 0
+    values_scanned: int = 0
+    bytes_scanned: int = 0
 
     def merge(self, other: "ScanStats") -> "ScanStats":
         """Accumulate another stats object into this one (in place)."""
@@ -59,6 +70,8 @@ class ScanStats:
         self.cell_ranges += other.cell_ranges
         self.rows_matched += other.rows_matched
         self.dims_accessed += other.dims_accessed
+        self.values_scanned += other.values_scanned
+        self.bytes_scanned += other.bytes_scanned
         return self
 
     def copy(self) -> "ScanStats":
@@ -68,6 +81,8 @@ class ScanStats:
             cell_ranges=self.cell_ranges,
             rows_matched=self.rows_matched,
             dims_accessed=self.dims_accessed,
+            values_scanned=self.values_scanned,
+            bytes_scanned=self.bytes_scanned,
         )
 
     @property
@@ -115,11 +130,20 @@ class ScanExecutor:
 
     def __init__(self, table: Table) -> None:
         self._table = table
+        self._itemsizes: dict[str, int] = {}
 
     @property
     def table(self) -> Table:
         """The clustered table this executor scans."""
         return self._table
+
+    def _itemsize(self, dim: str) -> int:
+        """Bytes per stored value of ``dim`` (dtype is fixed per column)."""
+        size = self._itemsizes.get(dim)
+        if size is None:
+            size = self._table.column(dim).itemsize
+            self._itemsizes[dim] = size
+        return size
 
     def _slice(
         self,
@@ -228,6 +252,10 @@ class ScanExecutor:
         """Scan already-coalesced ranges; the caches are shared across a batch."""
         stats = ScanStats(dims_accessed=len(filters))
         stats.cell_ranges = len(merged)
+        filter_bytes_per_row = sum(self._itemsize(dim) for dim in filters)
+        aggregate_itemsize = (
+            self._itemsize(aggregate_column) if aggregate_column is not None else 0
+        )
 
         count = 0
         total = 0.0
@@ -244,33 +272,35 @@ class ScanExecutor:
             if row_range.exact:
                 # Exact ranges skip per-value filter checks entirely.
                 matched = length
+                count += matched
+                stats.rows_matched += matched
                 if aggregate == "count":
-                    count += matched
-                    stats.rows_matched += matched
                     continue
-                values = self._slice(aggregate_column, start, stop, slice_cache)
                 stats.points_scanned += length
+                mask = None
             else:
                 stats.points_scanned += length
+                stats.values_scanned += length * len(filters)
+                stats.bytes_scanned += length * filter_bytes_per_row
                 mask = self._filter_mask(start, stop, filters, slice_cache, mask_cache)
-                matched = int(mask.sum())
-                if aggregate == "count":
-                    count += matched
-                    stats.rows_matched += matched
+                matched = fused_count(mask)
+                count += matched
+                stats.rows_matched += matched
+                if aggregate == "count" or matched == 0:
                     continue
-                values = self._slice(aggregate_column, start, stop, slice_cache)[mask]
 
-            count += matched
-            stats.rows_matched += matched
-            if matched == 0:
-                continue
+            # Fused aggregation: reduce over the whole slice under the mask
+            # instead of materializing ``values[mask]``.
+            values = self._slice(aggregate_column, start, stop, slice_cache)
+            stats.values_scanned += length
+            stats.bytes_scanned += length * aggregate_itemsize
             if aggregate in {"sum", "avg"}:
-                total += float(values.sum())
-            if aggregate in {"min"}:
-                candidate = float(values.min())
+                total += float(fused_sum(values, mask))
+            if aggregate == "min":
+                candidate = float(fused_min(values, mask))
                 minimum = candidate if minimum is None else min(minimum, candidate)
-            if aggregate in {"max"}:
-                candidate = float(values.max())
+            if aggregate == "max":
+                candidate = float(fused_max(values, mask))
                 maximum = candidate if maximum is None else max(maximum, candidate)
 
         if aggregate == "count":

@@ -44,9 +44,19 @@ class Table:
         return cls(name, columns)
 
     @classmethod
-    def from_arrays(cls, name: str, data: Mapping[str, np.ndarray]) -> "Table":
-        """Build a table from already-integral NumPy arrays (no re-encoding)."""
-        columns = [Column(col, np.asarray(values)) for col, values in data.items()]
+    def from_arrays(
+        cls, name: str, data: Mapping[str, np.ndarray], *, narrow: bool = True
+    ) -> "Table":
+        """Build a table from already-integral NumPy arrays (no re-encoding).
+
+        ``narrow=False`` preserves each array's integer dtype instead of
+        narrowing to the smallest covering dtype — benchmarks use it to build
+        forced-``int64`` baseline tables.
+        """
+        columns = [
+            Column(col, np.asarray(values), narrow=narrow)
+            for col, values in data.items()
+        ]
         return cls(name, columns)
 
     # -- basic protocol --------------------------------------------------------
@@ -95,7 +105,12 @@ class Table:
         return self.column(name).values
 
     def matrix(self, names: Iterable[str] | None = None) -> np.ndarray:
-        """Stack the requested columns into an ``(n_rows, n_dims)`` matrix."""
+        """Stack the requested columns into an ``(n_rows, n_dims)`` matrix.
+
+        Columns may use different narrow storage dtypes; the stack promotes
+        to their common integer dtype (value-preserving for every storage
+        dtype combination).
+        """
         selected = list(names) if names is not None else self.column_names
         return np.column_stack([self.column(name).values for name in selected])
 
@@ -107,6 +122,24 @@ class Table:
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of all column data."""
         return sum(column.size_bytes() for column in self._columns.values())
+
+    def describe(self) -> dict:
+        """Storage breakdown (footprint + per-column dtypes) for reports.
+
+        ``bytes_per_value`` is the compression headline: an all-``int64``
+        table sits at 8.0, so anything lower is the narrow-dtype win.
+        """
+        columns = [column.describe() for column in self._columns.values()]
+        total = self.size_bytes()
+        num_values = self._num_rows * len(self._columns)
+        return {
+            "name": self.name,
+            "num_rows": self._num_rows,
+            "num_columns": len(self._columns),
+            "size_bytes": total,
+            "bytes_per_value": round(total / num_values, 3) if num_values else None,
+            "columns": columns,
+        }
 
     # -- clustered reorganization ---------------------------------------------------
 
@@ -145,15 +178,41 @@ class Table:
         return Table(f"{self.name}_sample", columns)
 
     def subset(self, row_ids: np.ndarray, name: str | None = None) -> "Table":
-        """Return a new table restricted to ``row_ids`` (logical selection)."""
+        """Return a new table restricted to ``row_ids`` (logical selection).
+
+        A contiguous ascending ``row_ids`` run becomes a zero-copy slice view
+        that preserves each column's storage dtype and any memory-mapped
+        backing (shard builds over a clustered shard dimension hit this path);
+        anything else gathers copies and re-narrows per column.
+        """
         row_ids = np.asarray(row_ids)
-        columns = [
-            Column(
-                column.name,
-                column.values[row_ids],
-                dictionary=column.dictionary,
-                scaler=column.scaler,
-            )
-            for column in self._columns.values()
-        ]
+        contiguous = bool(
+            row_ids.size
+            and row_ids.ndim == 1
+            and np.issubdtype(row_ids.dtype, np.integer)
+            and int(row_ids[-1]) - int(row_ids[0]) == row_ids.size - 1
+            and np.all(np.diff(row_ids) == 1)
+        )
+        if contiguous:
+            start, stop = int(row_ids[0]), int(row_ids[-1]) + 1
+            columns = [
+                Column(
+                    column.name,
+                    column.slice(start, stop),
+                    dictionary=column.dictionary,
+                    scaler=column.scaler,
+                    narrow=False,
+                )
+                for column in self._columns.values()
+            ]
+        else:
+            columns = [
+                Column(
+                    column.name,
+                    column.values[row_ids],
+                    dictionary=column.dictionary,
+                    scaler=column.scaler,
+                )
+                for column in self._columns.values()
+            ]
         return Table(name or f"{self.name}_subset", columns)

@@ -61,6 +61,23 @@ class TestColumnAccess:
         column = Column("a", np.array([1, 2, 3, 4]))
         assert column.slice(1, 3).tolist() == [2, 3]
 
+    def test_slice_is_read_only(self):
+        # A slice used to hand out a writable window into the stored values;
+        # mutating it corrupted the column behind the index's back.
+        column = Column("a", np.array([1, 2, 3, 4]))
+        view = column.slice(1, 3)
+        with pytest.raises(ValueError):
+            view[0] = 99
+        assert column.values.tolist() == [1, 2, 3, 4]
+
+    def test_narrowing_and_meta(self):
+        column = Column("a", np.array([3, 250, 7]))
+        assert column.dtype == np.uint8
+        assert column.meta.min_value == 3 and column.meta.max_value == 250
+        assert column.distinct_count() == 3
+        wide = Column("a", np.array([-1, 2**40]))
+        assert wide.dtype == np.int64
+
 
 class TestValueConversion:
     def test_string_roundtrip(self):
@@ -89,5 +106,8 @@ class TestReorder:
             column.reorder(np.array([0, 1]))
 
     def test_size_bytes(self):
+        # Values 0..99 narrow to uint8: one byte per row.
         column = Column("a", np.arange(100))
-        assert column.size_bytes() >= 800
+        assert column.size_bytes() == 100
+        wide = Column("a", np.arange(100), narrow=False)
+        assert wide.size_bytes() >= 800

@@ -54,3 +54,69 @@ class TestDictionaryEncoder:
         encoder = DictionaryEncoder()
         assert len(encoder) == 0
         assert encoder.values == []
+
+
+class TestVectorizedBatchPaths:
+    """The batch ``encode``/``decode`` are vectorized (searchsorted + one
+    fancy-index); they must stay element-wise identical to the scalar paths,
+    including on dictionaries whose code order is not sorted value order."""
+
+    def test_encode_matches_encode_one(self):
+        encoder = DictionaryEncoder(["pear", "apple", "quince", "fig"])
+        batch = ["fig", "apple", "fig", "quince", "pear"]
+        assert encoder.encode(batch).tolist() == [encoder.encode_one(v) for v in batch]
+
+    def test_unsorted_code_order_round_trips(self):
+        # from_ordered_values assigns codes in *given* order, so the sorted
+        # value order disagrees with code order — the searchsorted path must
+        # still map through the permutation correctly.
+        encoder = DictionaryEncoder.from_ordered_values(["zebra", "ant", "mole"])
+        assert encoder.encode_one("zebra") == 0
+        batch = ["mole", "zebra", "ant", "mole"]
+        codes = encoder.encode(batch)
+        assert codes.tolist() == [encoder.encode_one(v) for v in batch]
+        assert encoder.decode(codes) == batch
+
+    def test_encode_empty_batch(self):
+        encoder = DictionaryEncoder(["a"])
+        codes = encoder.encode([])
+        assert codes.tolist() == []
+        assert codes.dtype.kind == "i"
+
+    def test_decode_matches_decode_one(self):
+        encoder = DictionaryEncoder(["c", "a", "b"])
+        codes = [2, 0, 1, 1]
+        assert encoder.decode(codes) == [encoder.decode_one(c) for c in codes]
+
+    def test_encode_error_message_matches_scalar_path(self):
+        encoder = DictionaryEncoder(["a", "b"])
+        with pytest.raises(SchemaError) as batch_error:
+            encoder.encode(["a", "zzz", "b"])
+        with pytest.raises(SchemaError) as scalar_error:
+            encoder.encode_one("zzz")
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_encode_unknown_value_on_empty_dictionary(self):
+        encoder = DictionaryEncoder()
+        with pytest.raises(SchemaError):
+            encoder.encode(["anything"])
+
+    def test_decode_out_of_range_code_raises(self):
+        encoder = DictionaryEncoder(["a", "b"])
+        with pytest.raises(SchemaError):
+            encoder.decode([0, 5])
+        with pytest.raises(SchemaError):
+            encoder.decode([-1])
+
+    def test_decode_non_integer_codes_fall_back(self):
+        encoder = DictionaryEncoder(["a", "b"])
+        assert encoder.decode(["1", "0"]) == ["b", "a"]
+
+    def test_large_batch_round_trip(self):
+        import numpy as np
+
+        values = [f"key_{i:04d}" for i in range(500)]
+        encoder = DictionaryEncoder(values)
+        rng = np.random.default_rng(8)
+        batch = [values[i] for i in rng.integers(0, 500, 5_000)]
+        assert encoder.decode(encoder.encode(batch)) == batch

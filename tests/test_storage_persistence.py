@@ -80,9 +80,12 @@ class TestTableRoundTrip:
 
     def test_save_creates_directory(self, tmp_path):
         target = tmp_path / "nested" / "snapshot"
-        save_table(mixed_table(num_rows=10), target)
+        table = mixed_table(num_rows=10)
+        save_table(table, target)
         assert (target / "table.json").exists()
-        assert (target / "columns.npz").exists()
+        # v2 layout: one raw (mmap-shareable) .npy file per column.
+        npy_files = sorted((target / "columns").glob("*.npy"))
+        assert len(npy_files) == len(table.column_names)
 
 
 class TestIndexRoundTrip:
@@ -315,6 +318,66 @@ class TestShardedRoundTrip:
         info = snapshot_info(tmp_path)
         assert info["index"]["kind"] == "sharded"
         assert info["index"]["index_name"] == "sharded"
+
+    def test_loaded_shards_serve_off_memory_mapped_columns(self, tmp_path):
+        """Shard workers loading one snapshot must share pages, not copies:
+        every shard column is ``np.memmap``-backed after a default load, and
+        pending delta inserts still round-trip exactly alongside them."""
+        factory = partial(
+            DeltaBufferedIndex, partial(KdTreeIndex, page_size=128),
+            merge_threshold=1_000_000,
+        )
+        index = self.build_sharded(factory)
+        rng = np.random.default_rng(21)
+        pending = [
+            {
+                "quantity": int(rng.integers(0, 100)),
+                "price": round(float(rng.uniform(1, 500)), 2),
+                "mode": "rail",
+            }
+            for _ in range(24)
+        ]
+        index.insert_many(pending)
+        save_index(index, tmp_path)
+
+        loaded = load_index(tmp_path)  # mmap_mode="r" is the default
+        for shard in loaded.shards:
+            shard_table = shard.base_index.table
+            for name in shard_table.column_names:
+                column = shard_table.column(name)
+                assert column.is_memory_mapped
+                array = column.values
+                while array is not None and not isinstance(array, np.memmap):
+                    array = array.base
+                assert isinstance(array, np.memmap)
+        assert loaded.num_pending == 24
+        for original_shard, loaded_shard in zip(index.shards, loaded.shards):
+            for name in original_shard.buffer.column_names:
+                assert np.array_equal(
+                    loaded_shard.buffer.column(name),
+                    original_shard.buffer.column(name),
+                )
+        for query in self.queries():
+            assert loaded.execute(query).value == index.execute(query).value
+
+        eager = load_index(tmp_path, mmap_mode=None)
+        first_table = eager.shards[0].base_index.table
+        assert not any(
+            first_table.column(name).is_memory_mapped
+            for name in first_table.column_names
+        )
+
+    def test_narrow_dtypes_survive_sharded_round_trip(self, tmp_path):
+        index = self.build_sharded()
+        save_index(index, tmp_path)
+        loaded = load_index(tmp_path)
+        for original_shard, loaded_shard in zip(index.shards, loaded.shards):
+            for name in original_shard.table.column_names:
+                original = original_shard.table.column(name)
+                restored = loaded_shard.table.column(name)
+                assert restored.dtype == original.dtype
+                assert restored.size_bytes() == original.size_bytes()
+                assert np.array_equal(restored.values, original.values)
 
 
 class TestSnapshotInfo:

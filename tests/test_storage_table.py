@@ -68,7 +68,15 @@ class TestTableAccess:
         assert np.array_equal(matrix[:, 0], table.values("b"))
 
     def test_size_bytes(self):
-        assert make_table(100).size_bytes() >= 1600
+        # Narrow storage: a (uint8) + b (int16) = 3 bytes per row.
+        assert make_table(100).size_bytes() == 300
+
+    def test_describe_reports_dtype_breakdown(self):
+        info = make_table(100).describe()
+        assert info["num_rows"] == 100
+        assert info["size_bytes"] == 300
+        assert info["bytes_per_value"] == 1.5
+        assert [col["dtype"] for col in info["columns"]] == ["uint8", "int16"]
 
 
 class TestReorderAndSubset:
