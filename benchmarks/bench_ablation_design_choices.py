@@ -9,9 +9,7 @@ Not a paper figure, but exercises two knobs the paper discusses qualitatively:
   increase index size and planning overhead.
 """
 
-import pytest
 
-from benchmarks.conftest import run_once
 from repro.baselines import FloodIndex
 from repro.bench.report import format_table
 from repro.core.cost_model import CostModel

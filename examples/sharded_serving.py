@@ -23,7 +23,6 @@ import numpy as np
 
 from repro import (
     DeltaBufferedIndex,
-    Query,
     ShardedIndex,
     TsunamiIndex,
     execute_full_scan,

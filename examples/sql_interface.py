@@ -11,7 +11,7 @@ answers a handful of analytics questions written as SQL, comparing each answer
 
 from __future__ import annotations
 
-from repro import TsunamiIndex, TsunamiConfig, execute_full_scan
+from repro import TsunamiConfig, TsunamiIndex, execute_full_scan
 from repro.datasets import load_dataset
 from repro.query.sql import parse_query
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.baselines.base import ClusteredIndex
 from repro.common.errors import OptimizationError
-from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig, DEFAULT_MAX_CELLS
+from repro.core.augmented_grid import DEFAULT_MAX_CELLS, AugmentedGrid, AugmentedGridConfig
 from repro.core.cost_model import CostModel
 from repro.core.optimizer import GradientDescentOnly, initialize_partitions
 from repro.core.skeleton import Skeleton

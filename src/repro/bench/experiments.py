@@ -15,9 +15,7 @@ import os
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.baselines import FloodIndex, HyperOctreeIndex, KdTreeIndex, SingleDimensionIndex, ZOrderIndex
+from repro.baselines import FloodIndex, KdTreeIndex, ZOrderIndex
 from repro.bench.harness import (
     IndexMeasurement,
     default_index_factories,
@@ -34,7 +32,7 @@ from repro.core.optimizer import (
     BlackBoxOptimizer,
     GradientDescentOnly,
 )
-from repro.core.tsunami import TsunamiConfig, TsunamiIndex
+from repro.core.tsunami import TsunamiIndex
 from repro.core.variants import AugmentedGridOnlyIndex, GridTreeOnlyIndex
 from repro.datasets import (
     DATASETS,
@@ -46,9 +44,7 @@ from repro.datasets import (
 )
 from repro.datasets.tpch import make_tpch_dataset, tpch_shifted_templates, tpch_templates
 from repro.datasets.workload_gen import generate_workload, scale_template_selectivities
-from repro.query.workload import Workload
 from repro.storage.scan import ScanExecutor
-from repro.storage.table import Table
 
 ALL_DATASETS = ("tpch", "taxi", "perfmon", "stocks")
 

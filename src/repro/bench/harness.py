@@ -19,7 +19,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-import numpy as np
 
 from repro.baselines import (
     FloodIndex,

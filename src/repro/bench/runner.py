@@ -109,6 +109,7 @@ class _Serving:
             return DeltaBufferedIndex(
                 base_index_factory(index_config),
                 merge_threshold=index_config.merge_threshold,
+                merge_strategy=index_config.merge_strategy,
             )
 
         variant = index_config.variant
@@ -122,6 +123,7 @@ class _Serving:
                     lambda: DeltaBufferedIndex(
                         base_index_factory(index_config, index_config.num_shards),
                         merge_threshold=index_config.merge_threshold,
+                        merge_strategy=index_config.merge_strategy,
                     )
                 )
                 if index_config.updatable_shards
@@ -264,6 +266,7 @@ class ScenarioRunner:
         outcomes: list = []
         insert_log: list[tuple[int, list[dict]]] = []
         rows_inserted = 0
+        insert_seconds = 0.0
         try:
             # Warm the plan caches so every index measures steady state.
             warmup = data.stream[: min(64, len(data.stream))]
@@ -276,7 +279,9 @@ class ScenarioRunner:
                 for queries, rows in self._segments(data):
                     outcomes.extend(serving.run_segment(queries))
                     if rows is not None:
+                        write_start = time.perf_counter()
                         serving.insert_many(rows)
+                        insert_seconds += time.perf_counter() - write_start
                         insert_log.append((len(outcomes), rows))
                         rows_inserted += len(rows)
             finally:
@@ -322,6 +327,14 @@ class ScenarioRunner:
                 round(bytes_scanned / values_scanned, 3) if values_scanned else None
             ),
             "rows_inserted": rows_inserted,
+            # Sustained insert rate over the insert_many calls alone (merge
+            # cost included — that is the point of measuring it).
+            "insert_seconds": round(insert_seconds, 4),
+            "rows_inserted_per_second": (
+                round(rows_inserted / insert_seconds, 1)
+                if rows_inserted and insert_seconds
+                else None
+            ),
             "correct": mismatches == 0 if self.config.verify else None,
             "mismatches": mismatches if self.config.verify else None,
         }
@@ -426,6 +439,22 @@ class ScenarioRunner:
                         f"the {thresholds.max_table_bytes_per_value} ceiling "
                         "(all-int64 baseline is 8.0)"
                     )
+            if thresholds.min_relative_update_rate is not None:
+                rates = {
+                    entry["index"]: entry["rows_inserted_per_second"]
+                    for entry in cell["indexes"]
+                    if entry.get("rows_inserted_per_second")
+                }
+                fastest = max(rates.values(), default=0.0)
+                for name, rate in rates.items():
+                    relative = rate / fastest if fastest else 1.0
+                    if relative < thresholds.min_relative_update_rate:
+                        violations.append(
+                            f"{label}: {name} sustained {rate} rows/s, "
+                            f"{round(relative, 3)}x of the fastest writer "
+                            f"({fastest} rows/s), below the "
+                            f"{thresholds.min_relative_update_rate}x floor"
+                        )
             if thresholds.speedup_of is not None and thresholds.speedup_over is not None:
                 fast = by_name[thresholds.speedup_of]["queries_per_second"]
                 slow = by_name[thresholds.speedup_over]["queries_per_second"]

@@ -290,6 +290,9 @@ class IndexConfig:
     optimizer_iterations: int = 2
     page_size: int = 2048
     merge_threshold: int = 1_000_000
+    #: How delta-buffered wrappers fold merges: "local" reorganizes only the
+    #: touched Grid Tree regions, "rebuild" rebuilds the whole wrapped index.
+    merge_strategy: str = "local"
     num_shards: int = 4
     parallelism: int = 0
     updatable_shards: bool = False
@@ -306,6 +309,11 @@ class IndexConfig:
         )
         _require(self.page_size >= 1, f"index.page_size must be >= 1")
         _require(self.merge_threshold >= 1, "index.merge_threshold must be >= 1")
+        _require(
+            self.merge_strategy in ("local", "rebuild"),
+            f"index.merge_strategy must be 'local' or 'rebuild', "
+            f"got {self.merge_strategy!r}",
+        )
         _require(self.num_shards >= 1, "index.num_shards must be >= 1")
         _require(self.parallelism >= 0, "index.parallelism must be >= 0")
         _require(self.cache_entries >= 0, "index.cache_entries must be >= 0")
@@ -341,6 +349,10 @@ class ThresholdsConfig:
     max_bytes_per_value: float | None = None
     #: Gate: table footprint in bytes per stored value (all-int64 is 8.0).
     max_table_bytes_per_value: float | None = None
+    #: Gate: every write-accepting index's sustained insert rate
+    #: (rows_inserted_per_second) must reach at least this fraction of the
+    #: fastest writer's rate in the same cell.
+    min_relative_update_rate: float | None = None
 
     def validate(self, index_names: Sequence[str]) -> None:
         if self.speedup_of is not None or self.speedup_over is not None:
@@ -359,6 +371,11 @@ class ThresholdsConfig:
             _require(
                 self.max_table_bytes_per_value > 0,
                 "thresholds.max_table_bytes_per_value must be > 0",
+            )
+        if self.min_relative_update_rate is not None:
+            _require(
+                0.0 < self.min_relative_update_rate <= 1.0,
+                "thresholds.min_relative_update_rate must be in (0, 1]",
             )
 
 
@@ -507,6 +524,7 @@ class ScenarioConfig:
                     "optimizer_iterations",
                     "page_size",
                     "merge_threshold",
+                    "merge_strategy",
                     "num_shards",
                     "parallelism",
                     "updatable_shards",
@@ -539,6 +557,7 @@ class ScenarioConfig:
                     "min_speedup",
                     "max_bytes_per_value",
                     "max_table_bytes_per_value",
+                    "min_relative_update_rate",
                 ],
             )
             thresholds = ThresholdsConfig(**thresholds_raw)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import threading
 import time
@@ -568,6 +569,114 @@ def bench_lifecycle(num_rows: int, num_queries: int) -> dict:
     }
 
 
+def make_localized_insert_rows(
+    count: int, seed: int, x_low: int = 88_000, x_width: int = 6_000
+) -> list[dict]:
+    """Insert rows concentrated in one x window (a write-hotspot drift).
+
+    Localized inserts are what the per-region merge path is for: only the
+    Grid Tree regions overlapping the window receive rows, so a local merge
+    leaves the rest of the table untouched.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.integers(x_low, x_low + x_width, count)
+    y = x * 3 + rng.integers(-500, 501, count)
+    z = rng.integers(0, 5_000, count)
+    return [
+        {"x": int(xi), "y": int(yi), "z": int(zi)}
+        for xi, yi, zi in zip(x, y, z)
+    ]
+
+
+def bench_sustained_inserts(
+    base_rows: int,
+    num_sizes: int,
+    num_inserts: int,
+    merge_threshold: int,
+    repeats: int = 3,
+) -> dict:
+    """Sustained insert rate vs table size, local vs rebuild merge strategy.
+
+    The same localized insert stream (merge cadence held constant by a fixed
+    ``merge_threshold``) is pushed through both strategies at ``num_sizes``
+    doubling table sizes.  The rebuild path redoes O(table) work per merge,
+    so its updates/sec falls roughly linearly with size; the local path only
+    reorganizes the regions the hotspot lands in.  Probe queries are executed
+    against both indexes afterwards and must agree bit for bit.
+
+    Each (size, strategy) cell is measured ``repeats`` times on a fresh index
+    and reports the median rate: a single insert run is tens of milliseconds
+    at the small end, where one scheduler hiccup would otherwise dominate the
+    first/last degradation ratio the smoke gate checks.
+    """
+    sizes = [base_rows * (2**position) for position in range(num_sizes)]
+    results: dict = {
+        "num_sizes": num_sizes,
+        "inserts_per_size": num_inserts,
+        "merge_threshold": merge_threshold,
+        "sizes": [],
+    }
+    mismatches_total = 0
+    for num_rows in sizes:
+        templates, _ = make_template_stream(16, 1, seed=31, style="localized")
+        # One probe pinned to the insert hotspot so the differential check
+        # always covers rows that arrived through the merge path.
+        probes = [
+            *templates,
+            Query.from_ranges({"x": (88_000, 94_000), "z": (0, 5_000)}),
+        ]
+        rows = make_localized_insert_rows(num_inserts, seed=32)
+        entry: dict = {"num_rows": num_rows}
+        executed: dict[str, list] = {}
+        for strategy in ("local", "rebuild"):
+            samples = []
+            for _ in range(repeats):
+                index = DeltaBufferedIndex(
+                    tsunami_factory(1),
+                    merge_threshold=merge_threshold,
+                    merge_strategy=strategy,
+                )
+                index.build(
+                    make_linear_dataset("sustained", num_rows, seed=23), templates
+                )
+                seconds, _ = timed(lambda: index.insert_many(rows))
+                samples.append(seconds)
+            index.merge()
+            seconds = statistics.median(samples)
+            history = index.merge_history
+            entry[strategy] = {
+                "seconds_total": round(seconds, 4),
+                "rows_per_second": round(num_inserts / seconds, 1),
+                "merges": len(history),
+                "strategies_run": sorted({report.strategy for report in history}),
+                "regions_touched": sum(
+                    report.regions_touched or 0 for report in history
+                ),
+                "regions_total": history[-1].regions_total if history else None,
+            }
+            executed[strategy] = [index.execute(query) for query in probes]
+        entry["mismatches"] = sum(
+            1
+            for local_result, rebuild_result in zip(
+                executed["local"], executed["rebuild"]
+            )
+            if local_result.value != rebuild_result.value
+            or local_result.stats.rows_matched != rebuild_result.stats.rows_matched
+        )
+        mismatches_total += entry["mismatches"]
+        entry["local_vs_rebuild"] = round(
+            entry["local"]["rows_per_second"] / entry["rebuild"]["rows_per_second"],
+            2,
+        )
+        results["sizes"].append(entry)
+    for strategy in ("local", "rebuild"):
+        first = results["sizes"][0][strategy]["rows_per_second"]
+        last = results["sizes"][-1][strategy]["rows_per_second"]
+        results[f"{strategy}_degradation"] = round(first / last, 2) if last else None
+    results["mismatches_total"] = mismatches_total
+    return results
+
+
 def run_tracker_updates(scale: dict, mode: str, seed: int | None) -> tuple[dict, list[str]]:
     inserts = bench_inserts(
         num_rows=scale["insert_rows"], num_inserts=scale["num_inserts"]
@@ -582,6 +691,12 @@ def run_tracker_updates(scale: dict, mode: str, seed: int | None) -> tuple[dict,
     lifecycle = bench_lifecycle(
         num_rows=scale["lifecycle_rows"], num_queries=scale["lifecycle_queries"]
     )
+    sustained = bench_sustained_inserts(
+        base_rows=scale["sustained_base_rows"],
+        num_sizes=scale["sustained_num_sizes"],
+        num_inserts=scale["sustained_inserts"],
+        merge_threshold=scale["sustained_merge_threshold"],
+    )
     report = {
         "benchmark": "updatable serving path (delta buffer) throughput",
         "mode": mode,
@@ -589,12 +704,25 @@ def run_tracker_updates(scale: dict, mode: str, seed: int | None) -> tuple[dict,
         "queries_with_pending_inserts": queries,
         "merge": merge,
         "lifecycle": lifecycle,
+        "sustained_inserts": sustained,
     }
     failures = []
     if queries["batch_speedup"] < 1.0:
         failures.append(
             f"batched delta-path queries are slower than the "
             f"unbatched path (speedup {queries['batch_speedup']}x < 1.0x)"
+        )
+    if sustained["mismatches_total"] > 0:
+        failures.append(
+            "local and rebuild merge strategies disagree on "
+            f"{sustained['mismatches_total']} probe query result(s)"
+        )
+    degradation = sustained["local_degradation"]
+    if degradation is None or degradation >= 2.0:
+        failures.append(
+            "local-merge sustained insert rate degrades "
+            f"{degradation}x from the smallest to the largest table "
+            "(must stay under 2.0x)"
         )
     return report, failures
 

@@ -29,7 +29,7 @@ Two planners produce identical spans:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -286,6 +286,73 @@ class AugmentedGrid:
             # Cached spans are offsets into the previous clustered order.
             self.plan_cache.clear()
         return permutation
+
+    def absorb(
+        self, appended: Table, plan_cache: PlanCache | None = None
+    ) -> tuple["AugmentedGrid", np.ndarray]:
+        """Fold rows appended after this grid's rows into a new fitted grid.
+
+        Returns the new grid plus the stable clustering permutation over the
+        combined rows (this grid's rows first, ``appended`` after them);
+        ``self`` is never mutated, so a caller that fails mid-merge keeps a
+        consistent serving grid.
+
+        The existing rows are *not* re-assigned: the new grid shares this
+        grid's CDF and conditional-CDF models, under which their partition
+        ids are unchanged, so only the appended rows are pushed through the
+        models and merged into the sorted-by-cell order.  That makes absorb
+        cost proportional to the appended rows (plus one O(region) stable
+        merge), not to the quantile sweeps a full refit pays.  Reused CDFs
+        stay correct because row assignment and query planning go through
+        the same model — a stale boundary shifts cells, never answers.
+        Functional mappings are the exception: their error bounds must cover
+        every row they serve, so the new grid gets bound-widened copies
+        (:meth:`~repro.stats.correlation.BoundedLinearModel.widened`)
+        covering the appended rows' residuals.
+        """
+        self._require_fitted()
+        assert self._offsets is not None
+        num_appended = appended.num_rows
+        grid = AugmentedGrid(self.config, planner=self.planner, plan_cache=plan_cache)
+        grid._cdf_models = dict(self._cdf_models)
+        grid._conditional_models = dict(self._conditional_models)
+        grid._strides = dict(self._strides)
+
+        partition_ids: dict[str, np.ndarray] = {}
+        for dim in self.grid_dimensions:
+            strategy = self.skeleton.strategy_for(dim)
+            count = self.config.partitions[dim]
+            if count == 1:
+                partition_ids[dim] = np.zeros(num_appended, dtype=np.int64)
+            elif isinstance(strategy, IndependentCDFStrategy):
+                partition_ids[dim] = self._cdf_models[dim].partitions_of(
+                    appended.values(dim), count
+                )
+            else:
+                assert isinstance(strategy, ConditionalCDFStrategy)
+                partition_ids[dim] = self._conditional_models[dim].partitions_of(
+                    appended.values(dim), partition_ids[strategy.base], count
+                )
+        for dim, model in self._mapping_models.items():
+            strategy = self.skeleton.strategy_for(dim)
+            assert isinstance(strategy, FunctionalMappingStrategy)
+            grid._mapping_models[dim] = model.widened(
+                appended.values(dim), appended.values(strategy.target)
+            )
+
+        appended_cells = np.zeros(num_appended, dtype=np.int64)
+        for dim in self.grid_dimensions:
+            appended_cells += partition_ids[dim] * self._strides[dim]
+        counts = np.diff(self._offsets)
+        existing_cells = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        permutation = np.argsort(
+            np.concatenate([existing_cells, appended_cells]), kind="stable"
+        )
+        counts = counts + np.bincount(appended_cells, minlength=counts.size)
+        grid._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        grid._num_rows = self._num_rows + num_appended
+        grid._fitted = True
+        return grid, permutation
 
     # -- planning ------------------------------------------------------------------
 

@@ -13,9 +13,26 @@ one level up, wrapping *any* clustered index in the repository:
 * Queries are answered by combining the main index's result with a single
   columnar scan of the buffer, so reads always see every insert immediately.
 * Once the buffer reaches ``merge_threshold`` rows (or on an explicit
-  :meth:`merge` call), the buffered rows are folded into the table and the
-  wrapped index is rebuilt — the "periodic merge" of the differential-file
-  technique the paper cites.
+  :meth:`merge` call), the buffered rows are folded into the table — the
+  "periodic merge" of the differential-file technique the paper cites.  How
+  the fold happens is controlled by ``merge_strategy``:
+
+  * ``"local"`` (the default): when the wrapped index is a built
+    :class:`~repro.core.tsunami.TsunamiIndex`, the merge routes buffered rows
+    to their owning Grid Tree regions and reorganizes *only the touched
+    regions* (see :mod:`repro.core.local_merge`) — regions whose pending-row
+    fraction stays at or under ``split_threshold`` absorb the rows with an
+    in-place re-sort of just their row range, overflowing (or previously
+    empty) regions get a locally re-optimized grid.  Untouched regions keep
+    their rows, grids, and plan caches, so sustained-insert cost scales with
+    the rows that moved, not with the table.  Any other wrapped index falls
+    back to the global rebuild below (recorded as ``strategy="rebuild"`` in
+    the :class:`MergeReport`).
+  * ``"rebuild"``: the original global path — concatenate the buffer onto
+    the table and rebuild the whole wrapped index from scratch.  Kept as an
+    escape hatch and as the differential-testing oracle: query results after
+    any insert/merge interleaving are bit-identical between the two
+    strategies.
 
 The wrapper implements the full serving contract of
 :class:`~repro.baselines.base.ClusteredIndex` — ``is_built`` / ``table`` /
@@ -51,6 +68,11 @@ from repro.baselines.base import (
 )
 from repro.common import faults
 from repro.common.errors import IndexBuildError, QueryError, SchemaError
+from repro.core.local_merge import (
+    DEFAULT_SPLIT_THRESHOLD,
+    local_merge,
+    supports_local_merge,
+)
 from repro.query.query import Query
 from repro.query.workload import Workload
 from repro.storage.column import Column
@@ -64,13 +86,27 @@ IndexFactory = Callable[[], ClusteredIndex]
 MIN_BUFFER_CAPACITY = 64
 
 
+#: Valid values of ``DeltaBufferedIndex.merge_strategy``.
+MERGE_STRATEGIES = ("local", "rebuild")
+
+
 @dataclass
 class MergeReport:
-    """Outcome of folding the delta buffer into the main index."""
+    """Outcome of folding the delta buffer into the main index.
+
+    ``strategy`` records the path that actually ran (a ``"local"`` request
+    falls back to ``"rebuild"`` when the wrapped index has no region layout);
+    ``regions_touched`` / ``regions_total`` are filled by local merges only.
+    ``rebuild_seconds`` keeps its historical name and times whichever
+    reorganization ran.
+    """
 
     rows_merged: int
     rebuild_seconds: float
     total_rows: int
+    strategy: str = "rebuild"
+    regions_touched: int | None = None
+    regions_total: int | None = None
 
 
 @dataclass(frozen=True)
@@ -268,15 +304,43 @@ class DeltaBufferedIndex:
         Number of buffered rows at which inserts trigger an automatic merge.
         ``0`` merges after every insert call; use a large value to manage
         merges manually via :meth:`merge`.
+    merge_strategy:
+        ``"local"`` (default) reorganizes only the Grid Tree regions whose
+        rows changed when the wrapped index supports it, falling back to the
+        global rebuild otherwise; ``"rebuild"`` always rebuilds the whole
+        wrapped index (the pre-localized behavior, kept as an escape hatch
+        and differential-testing oracle).
+    split_threshold:
+        Pending-row fraction above which a local merge re-optimizes a
+        region's grid (a "local split") instead of absorbing the rows into
+        its fitted grid.  Ignored by the rebuild strategy.
     """
 
     name = "delta-buffered"
 
-    def __init__(self, index_factory: IndexFactory, merge_threshold: int = 10_000) -> None:
+    def __init__(
+        self,
+        index_factory: IndexFactory,
+        merge_threshold: int = 10_000,
+        *,
+        merge_strategy: str = "local",
+        split_threshold: float = DEFAULT_SPLIT_THRESHOLD,
+    ) -> None:
         if merge_threshold < 0:
             raise ValueError(f"merge_threshold must be >= 0, got {merge_threshold}")
+        if merge_strategy not in MERGE_STRATEGIES:
+            raise ValueError(
+                f"merge_strategy must be one of {MERGE_STRATEGIES}, "
+                f"got {merge_strategy!r}"
+            )
+        if not 0 <= split_threshold:
+            raise ValueError(
+                f"split_threshold must be >= 0, got {split_threshold}"
+            )
         self._index_factory = index_factory
         self.merge_threshold = merge_threshold
+        self.merge_strategy = merge_strategy
+        self.split_threshold = split_threshold
         self._index: ClusteredIndex | None = None
         self._workload: Workload | None = None
         self._buffer: DeltaBuffer | None = None
@@ -416,9 +480,14 @@ class DeltaBufferedIndex:
     # -- merging ----------------------------------------------------------------------
 
     def merge(self) -> MergeReport | None:
-        """Fold every pending insert into the table and rebuild the main index.
+        """Fold every pending insert into the table via ``merge_strategy``.
 
-        Returns the merge report, or ``None`` if the buffer was empty.
+        Returns the merge report, or ``None`` if the buffer was empty.  With
+        ``merge_strategy="local"`` and a wrapped index that supports it, only
+        the regions whose rows changed are reorganized (see
+        :mod:`repro.core.local_merge`); otherwise the whole wrapped index is
+        rebuilt.  Either way a merge that fails mid-way leaves the index
+        serving the old table with the buffer intact.
         """
         index = self._require_built()
         assert self._buffer is not None
@@ -426,8 +495,33 @@ class DeltaBufferedIndex:
         if pending == 0:
             return None
         faults.trigger("delta.merge")
-        old_table = index.table
         start = time.perf_counter()
+        if self.merge_strategy == "local" and supports_local_merge(index):
+            buffer_columns = {
+                name: self._buffer.column(name)
+                for name in index.table.column_names
+            }
+            outcome = local_merge(
+                index, buffer_columns, split_threshold=self.split_threshold
+            )
+            report = MergeReport(
+                rows_merged=pending,
+                rebuild_seconds=time.perf_counter() - start,
+                total_rows=index.table.num_rows,
+                strategy="local",
+                regions_touched=outcome.regions_touched,
+                regions_total=outcome.regions_total,
+            )
+        else:
+            report = self._rebuild_merge(index, start)
+        self._buffer = DeltaBuffer(index.table.column_names)
+        self._merges.append(report)
+        return report
+
+    def _rebuild_merge(self, index: ClusteredIndex, start: float) -> MergeReport:
+        """The global path: concatenate the buffer and rebuild the index."""
+        assert self._buffer is not None
+        old_table = index.table
         columns = []
         for name in old_table.column_names:
             source = old_table.column(name)
@@ -452,14 +546,12 @@ class DeltaBufferedIndex:
         rebuilt = self._index_factory()
         rebuilt.build(merged_table, self._workload)
         self._index = rebuilt
-        self._buffer = DeltaBuffer(merged_table.column_names)
-        report = MergeReport(
-            rows_merged=pending,
+        return MergeReport(
+            rows_merged=len(self._buffer),
             rebuild_seconds=time.perf_counter() - start,
             total_rows=merged_table.num_rows,
+            strategy="rebuild",
         )
-        self._merges.append(report)
-        return report
 
     @property
     def merge_history(self) -> list[MergeReport]:
@@ -555,6 +647,15 @@ class DeltaBufferedIndex:
             plan["cell_ranges"] += 1
             plan["rows_to_scan"] += pending
         plan["table_fraction_scanned"] = plan["rows_to_scan"] / max(self.num_rows, 1)
+        plan["merge_strategy"] = self.merge_strategy
+        if self._merges:
+            last = self._merges[-1]
+            plan["last_merge"] = {
+                "strategy": last.strategy,
+                "rows_merged": last.rows_merged,
+                "regions_touched": last.regions_touched,
+                "regions_total": last.regions_total,
+            }
         return plan
 
     def index_size_bytes(self) -> int:
@@ -564,11 +665,22 @@ class DeltaBufferedIndex:
 
     def describe(self) -> dict:
         """Structural statistics of the wrapper and the current main index."""
-        return {
+        info = {
             "name": self.name,
             "pending_inserts": self.num_pending,
             "merge_threshold": self.merge_threshold,
+            "merge_strategy": self.merge_strategy,
+            "split_threshold": self.split_threshold,
             "num_merges": len(self._merges),
             "total_rows": self.num_rows,
             "base_index": self._require_built().describe(),
         }
+        if self._merges:
+            last = self._merges[-1]
+            info["last_merge"] = {
+                "strategy": last.strategy,
+                "rows_merged": last.rows_merged,
+                "regions_touched": last.regions_touched,
+                "regions_total": last.regions_total,
+            }
+        return info

@@ -21,7 +21,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.common.errors import IndexBuildError
-from repro.core.query_types import queries_by_type
 from repro.core.skew import SplitCandidate, evaluate_split_dimension
 from repro.query.query import Query
 from repro.query.workload import Workload
@@ -299,8 +298,11 @@ class GridTree:
                 result.append(node)
                 return
             predicate = query.predicate_for(node.split_dimension)
-            low, high = node.bounds[node.split_dimension]
-            boundaries = [low, *node.split_values, high]
+            # Edge children are open-ended: assign_regions routes every value
+            # below the first split (or at/above the last) into the edge
+            # leaves, so after local merges absorb out-of-domain inserts the
+            # query side must reach those leaves too.
+            boundaries = [-np.inf, *node.split_values, np.inf]
             for index, child in enumerate(node.children):
                 child_low, child_high = boundaries[index], boundaries[index + 1]
                 if predicate is None or (
@@ -327,8 +329,9 @@ class GridTree:
                 for position in members:
                     result[position].append(node)
                 return
-            low, high = node.bounds[node.split_dimension]
-            boundaries = [low, *node.split_values, high]
+            # Open-ended edge children, matching assign_regions (see
+            # regions_for_query).
+            boundaries = [-np.inf, *node.split_values, np.inf]
             predicates = [
                 (position, queries[position].predicate_for(node.split_dimension))
                 for position in members

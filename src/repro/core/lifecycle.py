@@ -104,7 +104,10 @@ class LifecycleReport:
     windows_observed: int = 0
     drifts_detected: int = 0
     merges: int = 0
+    local_merges: int = 0
     rows_merged: int = 0
+    merge_regions_touched: int = 0
+    merge_regions_total: int = 0
     reoptimizations: int = 0
     regions_reoptimized: int = 0
     maintenance_failures: int = 0
@@ -120,7 +123,10 @@ class LifecycleReport:
             "windows_observed": self.windows_observed,
             "drifts_detected": self.drifts_detected,
             "merges": self.merges,
+            "local_merges": self.local_merges,
             "rows_merged": self.rows_merged,
+            "merge_regions_touched": self.merge_regions_touched,
+            "merge_regions_total": self.merge_regions_total,
             "reoptimizations": self.reoptimizations,
             "regions_reoptimized": self.regions_reoptimized,
             "maintenance_failures": self.maintenance_failures,
@@ -275,15 +281,24 @@ class LifecycleManager:
         self._report.merges += 1
         self._report.rows_merged += report.rows_merged
         self._report.maintenance_seconds += seconds
-        self._record(
-            "merge",
-            seconds,
-            {
-                "trigger": trigger,
-                "rows_merged": report.rows_merged,
-                "total_rows": report.total_rows,
-            },
-        )
+        # Thread the MergeReport through so scenario reports show per-merge
+        # cost over time: which strategy ran, how long the reorganization
+        # took, and — for local merges — how localized it actually was.
+        details = {
+            "trigger": trigger,
+            "rows_merged": report.rows_merged,
+            "total_rows": report.total_rows,
+            "strategy": report.strategy,
+            "merge_seconds": round(report.rebuild_seconds, 6),
+        }
+        if report.strategy == "local":
+            self._report.local_merges += 1
+        if report.regions_touched is not None:
+            details["regions_touched"] = report.regions_touched
+            details["regions_total"] = report.regions_total
+            self._report.merge_regions_touched += report.regions_touched
+            self._report.merge_regions_total += report.regions_total or 0
+        self._record("merge", seconds, details)
         if self._detector is not None:
             # The merge replaced the table the detector sampled selectivities
             # from; resample against the data now being served (keeping the

@@ -30,7 +30,7 @@ from scipy import optimize as scipy_optimize
 
 from repro.common.errors import OptimizationError
 from repro.common.rng import make_rng
-from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig, DEFAULT_MAX_CELLS
+from repro.core.augmented_grid import DEFAULT_MAX_CELLS, AugmentedGrid, AugmentedGridConfig
 from repro.core.cost_model import CostModel, QueryPlanFeatures
 from repro.core.skeleton import (
     ConditionalCDFStrategy,
@@ -41,8 +41,8 @@ from repro.core.skeleton import (
 from repro.query.query import Query
 from repro.query.selectivity import average_dimension_selectivity
 from repro.query.workload import Workload
-from repro.stats.correlation import BoundedLinearModel, empty_cell_fraction
 from repro.stats.cdf import EmpiricalCDF
+from repro.stats.correlation import BoundedLinearModel, empty_cell_fraction
 from repro.storage.table import Table
 
 #: Relative error bound below which a functional mapping is used (§5.3.2).

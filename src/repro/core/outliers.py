@@ -144,6 +144,23 @@ class OutlierBoundedMapping:
         """Number of rows held in the outlier buffer."""
         return int(self.outlier_mapped.size)
 
+    def widened(
+        self, mapped_values: np.ndarray, target_values: np.ndarray
+    ) -> "OutlierBoundedMapping":
+        """Copy whose inlier bounds also cover the given rows.
+
+        The appended rows are all treated as inliers — the buffer is kept
+        as-is rather than re-deciding outliers, so the covering guarantee of
+        :meth:`map_range` extends to them at the cost of (possibly) looser
+        bounds.  The delta absorb path uses this for small increments; a
+        region whose distribution shifts enough to matter is refit instead.
+        """
+        return OutlierBoundedMapping(
+            model=self.model.widened(mapped_values, target_values),
+            outlier_mapped=self.outlier_mapped,
+            outlier_target=self.outlier_target,
+        )
+
     def predict(self, y: float) -> float:
         """Point prediction of the target value for mapped value ``y``."""
         return self.model.predict(y)

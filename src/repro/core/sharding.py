@@ -809,6 +809,9 @@ class ShardedIndex:
             "parallelism": self.parallelism,
             "total_rows": self.num_rows,
             "pending_inserts": self.num_pending,
+            # Updatable shards merge independently (a hot shard's merge never
+            # touches a cold shard); surface the strategy their buffers use.
+            "merge_strategy": getattr(self._shards[0], "merge_strategy", None),
             "rows_per_shard": [
                 getattr(shard, "num_rows", None) or shard.table.num_rows
                 for shard in self._shards

@@ -16,11 +16,11 @@ pass that removes superfluous splits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.stats.histogram import EquiWidthHistogram, query_histogram
+from repro.stats.histogram import query_histogram
 
 
 def mass_emd(mass: np.ndarray) -> float:

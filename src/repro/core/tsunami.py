@@ -18,13 +18,13 @@ every query resolves to a small number of contiguous row ranges.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.baselines.base import ClusteredIndex, containment_exactness
 from repro.common.errors import IndexBuildError, OptimizationError
-from repro.core.augmented_grid import AugmentedGrid, AugmentedGridConfig, DEFAULT_MAX_CELLS
+from repro.core.augmented_grid import DEFAULT_MAX_CELLS, AugmentedGrid, AugmentedGridConfig
 from repro.core.cost_model import CostModel
 from repro.core.grid_tree import GridTree, GridTreeConfig, GridTreeNode
 from repro.core.optimizer import (

@@ -22,7 +22,6 @@ ship dates.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.common.rng import SeedLike, make_rng
 from repro.datasets.workload_gen import EqualitySpec, QueryTemplate, RangeSpec

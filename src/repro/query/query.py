@@ -8,7 +8,7 @@ queries from user-facing values via the table's column encodings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.common.errors import QueryError

@@ -77,6 +77,32 @@ class BoundedLinearModel:
             error_high=error_high,
         )
 
+    def widened(
+        self, mapped_values: np.ndarray, target_values: np.ndarray
+    ) -> "BoundedLinearModel":
+        """Copy whose error bounds also cover the given rows.
+
+        The regression itself (slope, intercept) is kept; only ``error_low``
+        and ``error_high`` grow as needed, so the covering guarantee of
+        :meth:`map_range` extends to rows appended after the original fit
+        without re-running the regression over everything it ever saw.  The
+        delta absorb path uses this for small increments — bounds only ever
+        widen, so a drifting region should eventually be refit.
+        """
+        y = np.asarray(mapped_values, dtype=np.float64)
+        x = np.asarray(target_values, dtype=np.float64)
+        if y.shape != x.shape:
+            raise IndexBuildError("mapped and target value arrays differ in length")
+        if y.size == 0:
+            return self
+        residuals = x - (self.slope * y + self.intercept)
+        return BoundedLinearModel(
+            slope=self.slope,
+            intercept=self.intercept,
+            error_low=max(self.error_low, float(-residuals.min())),
+            error_high=max(self.error_high, float(residuals.max())),
+        )
+
     def predict(self, y: float) -> float:
         """Point prediction of the target value for mapped value ``y``."""
         return self.slope * y + self.intercept

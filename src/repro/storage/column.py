@@ -238,6 +238,33 @@ class Column:
             )
         self._values = self._values[permutation]
 
+    def reorder_rows(self, rows: np.ndarray, start: int, stop: int) -> None:
+        """Physically reorder only the rows in ``[start, stop)`` by ``rows``.
+
+        ``rows`` is a permutation *relative to the slice*: after the call,
+        slice position ``i`` holds the value previously at ``start + rows[i]``.
+        Rows outside the range are untouched, so a local merge re-sorts one
+        region's row range without rewriting the whole column.  Like
+        :meth:`reorder` this is value-preserving: dtype and bounds metadata
+        are unaffected.  A read-only backing array (e.g. a column loaded with
+        ``mmap_mode="r"``) is copied into the heap first — the mapped file is
+        never written through.
+        """
+        rows = np.asarray(rows)
+        if stop < start or start < 0 or stop > len(self):
+            raise SchemaError(
+                f"row range [{start}, {stop}) is outside column "
+                f"{self.name!r} of length {len(self)}"
+            )
+        if rows.shape != (stop - start,):
+            raise SchemaError(
+                f"slice permutation length {rows.shape} does not match row "
+                f"range [{start}, {stop})"
+            )
+        if not self._values.flags.writeable:
+            self._values = np.array(self._values)
+        self._values[start:stop] = self._values[start:stop][rows]
+
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the stored values."""
         total = int(self._values.nbytes)

@@ -19,7 +19,6 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.common.errors import SchemaError
-from repro.storage.column import Column
 from repro.storage.table import Table
 
 

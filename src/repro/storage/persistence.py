@@ -256,6 +256,8 @@ def _save_delta_index(index, path: Path) -> Path:
         "format_version": FORMAT_VERSION,
         "kind": "delta",
         "merge_threshold": index.merge_threshold,
+        "merge_strategy": index.merge_strategy,
+        "split_threshold": index.split_threshold,
         "pending_rows": index.num_pending,
     }
     with open(path / _DELTA_MANIFEST, "w", encoding="utf-8") as handle:
@@ -265,12 +267,21 @@ def _save_delta_index(index, path: Path) -> Path:
 
 
 def _load_delta_index(path: Path, mmap_mode: str | None):
-    from repro.core.delta import DeltaBuffer, DeltaBufferedIndex
+    from repro.core.delta import DEFAULT_SPLIT_THRESHOLD, DeltaBuffer, DeltaBufferedIndex
 
     manifest = _read_manifest(path, _DELTA_MANIFEST)
     wrapped = load_index(path / _DELTA_MAIN_DIR, mmap_mode=mmap_mode)
     factory = _load_factory(path) or _fallback_factory(wrapped)
-    index = DeltaBufferedIndex(factory, merge_threshold=int(manifest["merge_threshold"]))
+    index = DeltaBufferedIndex(
+        factory,
+        merge_threshold=int(manifest["merge_threshold"]),
+        # Older snapshots predate the merge-strategy knob; they were written
+        # by the global-rebuild implementation, so that is what they resume.
+        merge_strategy=str(manifest.get("merge_strategy", "rebuild")),
+        split_threshold=float(
+            manifest.get("split_threshold", DEFAULT_SPLIT_THRESHOLD)
+        ),
+    )
     index._index = wrapped
     workload_path = path / _WORKLOAD_PICKLE
     if workload_path.exists():

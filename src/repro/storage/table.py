@@ -162,6 +162,36 @@ class Table:
         for column in self._columns.values():
             column.reorder(permutation)
 
+    def reorder_rows(self, rows: np.ndarray, start: int, stop: int) -> None:
+        """Physically reorder only rows ``[start, stop)`` by the slice permutation.
+
+        ``rows`` is relative to the slice (see
+        :meth:`~repro.storage.column.Column.reorder_rows`) and must be a
+        bijection over ``range(stop - start)``.  Local merges use this to
+        re-sort a single region's row range in place instead of permuting the
+        whole table.
+        """
+        rows = np.asarray(rows)
+        if stop < start or start < 0 or stop > self._num_rows:
+            raise SchemaError(
+                f"row range [{start}, {stop}) is outside table "
+                f"{self.name!r} with {self._num_rows} rows"
+            )
+        length = stop - start
+        if rows.shape != (length,):
+            raise SchemaError(
+                f"slice permutation has shape {rows.shape}, expected ({length},)"
+            )
+        if length:
+            seen = np.zeros(length, dtype=bool)
+            seen[rows] = True
+            if not seen.all():
+                raise SchemaError(
+                    "slice permutation is not a bijection over the row range"
+                )
+        for column in self._columns.values():
+            column.reorder_rows(rows, start, stop)
+
     def sample_rows(self, count: int, rng: np.random.Generator) -> "Table":
         """Return a new table containing ``count`` rows sampled without replacement."""
         count = min(count, self._num_rows)

@@ -1,6 +1,5 @@
 """Tests for the benchmark harness and report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import KdTreeIndex, SingleDimensionIndex
@@ -13,7 +12,6 @@ from repro.bench.harness import (
     tune_page_size,
 )
 from repro.bench.report import format_series, format_table, relative_factors
-from repro.query.engine import execute_full_scan
 
 
 class TestMeasureIndex:

@@ -5,7 +5,6 @@ check that every driver runs end-to-end, produces a report, and returns
 correct measurements.
 """
 
-import pytest
 
 from repro.bench.experiments import (
     experiment_adaptability,

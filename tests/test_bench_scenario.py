@@ -18,7 +18,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.common.errors import ConfigError
 from repro.bench.runner import run_scenario, validate_report
 from repro.bench.scenario import (
     FigureConfig,
@@ -29,6 +28,7 @@ from repro.bench.scenario import (
     validate_directory,
 )
 from repro.bench.workloads import build_fault_plan, build_scenario_data
+from repro.common.errors import ConfigError
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CONFIG_DIR = REPO_ROOT / "benchmarks" / "configs"

@@ -10,7 +10,6 @@ from repro.core.lifecycle import LifecycleConfig, LifecycleManager
 from repro.core.tsunami import TsunamiConfig, TsunamiIndex
 from repro.query.engine import execute_full_scan
 from repro.query.query import Query
-from repro.query.workload import Workload
 
 
 def tsunami_factory():

@@ -6,7 +6,6 @@ learned indexes must show the qualitative advantages the paper claims
 (Tsunami scans no more than Flood on skewed/correlated workloads).
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import FloodIndex, KdTreeIndex

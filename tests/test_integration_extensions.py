@@ -7,7 +7,6 @@ persistence, and CSV ingestion feeding the SQL front-end.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.categorical import CategoricalReordering
 from repro.core.delta import DeltaBufferedIndex

@@ -28,7 +28,6 @@ from repro.core.sharding import ShardedIndex
 from repro.core.tsunami import TsunamiConfig, TsunamiIndex
 from repro.query.engine import QueryEngine, execute_full_scan
 from repro.query.query import Query
-from repro.query.workload import Workload
 from repro.serve import ServingConfig, ServingFrontend
 from repro.storage.table import Table
 
